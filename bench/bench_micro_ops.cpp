@@ -1,0 +1,120 @@
+// bench_micro_ops — google-benchmark micro-costs (extra ablation).
+//
+// Quantifies the building blocks the paper's design decisions trade off:
+//  * uncontended enqueue+dequeue cost per FFQ variant (SPSC vs SPMC vs
+//    MPMC — the price of the fetch-and-add and of the DWCAS);
+//  * layout policies (index-rotation arithmetic on the hot path);
+//  * the primitive costs themselves: FAA vs CAS vs DWCAS (the paper's
+//    observation 4: FAA guarantees progress; §V-G: lcrq is slower than
+//    wfqueue due to heavier synchronization).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "ffq/baselines/vyukov_mpmc.hpp"
+#include "ffq/core/ffq.hpp"
+#include "ffq/runtime/dwcas.hpp"
+
+using namespace ffq;
+
+// --- primitive costs --------------------------------------------------------
+
+static void BM_FetchAdd(benchmark::State& state) {
+  std::atomic<std::int64_t> x{0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.fetch_add(1, std::memory_order_relaxed));
+  }
+}
+BENCHMARK(BM_FetchAdd);
+
+static void BM_CompareExchange(benchmark::State& state) {
+  std::atomic<std::int64_t> x{0};
+  std::int64_t expected = 0;
+  for (auto _ : state) {
+    x.compare_exchange_strong(expected, expected + 1,
+                              std::memory_order_acq_rel);
+    benchmark::DoNotOptimize(expected);
+  }
+}
+BENCHMARK(BM_CompareExchange);
+
+static void BM_DoubleWordCas(benchmark::State& state) {
+  runtime::atomic_i64_pair p;
+  runtime::atomic_i64_pair::value_type expected{0, 0};
+  for (auto _ : state) {
+    p.compare_exchange(expected, {expected.first + 1, expected.second + 1});
+    benchmark::DoNotOptimize(expected);
+  }
+}
+BENCHMARK(BM_DoubleWordCas);
+
+// --- FFQ variants, uncontended pair cost ------------------------------------
+
+template <typename Q>
+static void BM_QueuePair(benchmark::State& state) {
+  Q q(1 << 10);
+  std::uint64_t v = 1, out;
+  for (auto _ : state) {
+    q.enqueue(v);
+    benchmark::DoNotOptimize(q.dequeue(out));
+  }
+}
+
+template <typename Q>
+static void BM_QueuePairTry(benchmark::State& state) {
+  Q q(1 << 10);
+  std::uint64_t v = 1, out;
+  for (auto _ : state) {
+    q.enqueue(v);
+    benchmark::DoNotOptimize(q.try_dequeue(out));
+  }
+}
+
+BENCHMARK_TEMPLATE(BM_QueuePairTry,
+                   core::spsc_queue<std::uint64_t, core::layout_aligned>)
+    ->Name("BM_FfqSpscPair/aligned");
+BENCHMARK_TEMPLATE(BM_QueuePairTry,
+                   core::spsc_queue<std::uint64_t, core::layout_compact>)
+    ->Name("BM_FfqSpscPair/compact");
+BENCHMARK_TEMPLATE(BM_QueuePair,
+                   core::spmc_queue<std::uint64_t, core::layout_aligned>)
+    ->Name("BM_FfqSpmcPair/aligned");
+BENCHMARK_TEMPLATE(BM_QueuePair,
+                   core::spmc_queue<std::uint64_t, core::layout_randomized>)
+    ->Name("BM_FfqSpmcPair/randomized");
+BENCHMARK_TEMPLATE(BM_QueuePair,
+                   core::spmc_queue<std::uint64_t, core::layout_aligned_randomized>)
+    ->Name("BM_FfqSpmcPair/aligned+randomized");
+BENCHMARK_TEMPLATE(BM_QueuePair,
+                   core::mpmc_queue<std::uint64_t, core::layout_aligned>)
+    ->Name("BM_FfqMpmcPair/aligned");
+
+static void BM_VyukovPair(benchmark::State& state) {
+  baselines::vyukov_mpmc_queue<std::uint64_t> q(1 << 10);
+  std::uint64_t out;
+  for (auto _ : state) {
+    q.enqueue(1);
+    benchmark::DoNotOptimize(q.try_dequeue(out));
+  }
+}
+BENCHMARK(BM_VyukovPair);
+
+// --- layout index arithmetic -------------------------------------------------
+
+static void BM_IndexIdentity(benchmark::State& state) {
+  core::capacity_info cap(1 << 16);
+  std::int64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cap.slot<core::layout_aligned>(r++));
+  }
+}
+BENCHMARK(BM_IndexIdentity);
+
+static void BM_IndexRotated(benchmark::State& state) {
+  core::capacity_info cap(1 << 16);
+  std::int64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cap.slot<core::layout_randomized>(r++));
+  }
+}
+BENCHMARK(BM_IndexRotated);

@@ -1,0 +1,28 @@
+// baselines.hpp — umbrella header for every comparison queue.
+//
+// MPMC (Fig. 8 comparative study):
+//   ms_queue<T>        — Michael & Scott, CAS-based, hazard pointers
+//   cc_queue<T>        — combining (CC-Synch) queue, per-thread handles
+//   lcrq_queue         — FAA + DWCAS ring segments (uint64 payloads)
+//   wf_queue           — Yang & Mellor-Crummey FAA queue fast path,
+//                        per-thread handles (uint64 payloads)
+//   htm_queue<T>       — circular buffer inside (emulated) transactions
+//   vyukov_mpmc_queue<T> — bounded MPMC (the application benchmark's
+//                        "external MPMC queue")
+//
+// SPSC related-work family (§II, extra ablation bench):
+//   lamport_queue<T>, fastforward_queue<T>, mcring_queue<T>, bqueue<T>,
+//   batchqueue<T>
+#pragma once
+
+#include "ffq/baselines/cc_queue.hpp"           // IWYU pragma: export
+#include "ffq/baselines/htm_queue.hpp"          // IWYU pragma: export
+#include "ffq/baselines/lcrq.hpp"               // IWYU pragma: export
+#include "ffq/baselines/ms_queue.hpp"           // IWYU pragma: export
+#include "ffq/baselines/vyukov_mpmc.hpp"        // IWYU pragma: export
+#include "ffq/baselines/wf_queue.hpp"           // IWYU pragma: export
+#include "ffq/baselines/spsc/batchqueue.hpp"    // IWYU pragma: export
+#include "ffq/baselines/spsc/bqueue.hpp"        // IWYU pragma: export
+#include "ffq/baselines/spsc/fastforward.hpp"   // IWYU pragma: export
+#include "ffq/baselines/spsc/lamport.hpp"       // IWYU pragma: export
+#include "ffq/baselines/spsc/mcringbuffer.hpp"  // IWYU pragma: export

@@ -1,0 +1,249 @@
+// cc_queue.hpp — CC-Queue: a FIFO queue synchronized with the CC-Synch
+// combining construct (Fatourou & Kallimanis, PPoPP'12).
+//
+// Paper §II: "an extension of Michael-Scott's queue that uses combining
+// synchronization instead of locks in the two-lock variant ... allows
+// better scalability than compare-and-swap operations and traditional
+// locks." In Fig. 8 ccqueue is the fastest queue in *sequential* runs
+// ("because it reuses the same node for every enqueue/dequeue pair and
+// does not experience cache misses without contending thread") but its
+// performance "drops quickly with more threads".
+//
+// Structure:
+//  * `combining<Request>` — the generic CC-Synch construct: threads swap a
+//    publication node into a global list; the thread owning the list head
+//    becomes the *combiner* and executes up to `kMaxCombine` posted
+//    requests on the sequential structure before handing the role over.
+//  * `cc_queue<T>` — a plain sequential linked-list queue whose every
+//    operation goes through the construct.
+//
+// Threads interact through a per-thread `handle` (publication-node
+// ownership migrates between threads, as in the original algorithm);
+// handles must not outlive the queue.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::baselines {
+
+/// Generic CC-Synch combining construct. `Request` is the POD describing
+/// one operation; the combiner calls `apply(req)` for each.
+template <typename Request>
+class combining {
+ public:
+  struct alignas(ffq::runtime::kCacheLineSize) node {
+    Request req{};
+    std::atomic<node*> next{nullptr};
+    std::atomic<bool> wait{false};
+    bool completed = false;
+  };
+
+  /// How many queued requests one combiner executes before handing over
+  /// (bounds combiner latency; value from the original paper's setup).
+  static constexpr int kMaxCombine = 64;
+
+  combining() {
+    node* dummy = new_node();
+    tail_->store(dummy, std::memory_order_relaxed);
+  }
+
+  ~combining() {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    for (node* n : pool_) delete n;
+  }
+
+  combining(const combining&) = delete;
+  combining& operator=(const combining&) = delete;
+
+  /// Per-thread access token: owns the spare publication node.
+  class handle {
+   public:
+    explicit handle(combining& c) : owner_(&c), spare_(c.new_node()) {}
+    handle(handle&& o) noexcept
+        : owner_(std::exchange(o.owner_, nullptr)),
+          spare_(std::exchange(o.spare_, nullptr)) {}
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+    ~handle() = default;  // nodes are pool-owned; freed by ~combining
+
+   private:
+    friend class combining;
+    combining* owner_;
+    node* spare_;
+  };
+
+  handle make_handle() { return handle(*this); }
+
+  /// Execute `req` under combining; `apply` is invoked (possibly by
+  /// another thread — the combiner) exactly once. Returns the request
+  /// (with any output fields the combiner filled in).
+  template <typename Apply>
+  Request execute(handle& h, Request req, Apply&& apply) {
+    node* next = h.spare_;
+    next->next.store(nullptr, std::memory_order_relaxed);
+    next->wait.store(true, std::memory_order_relaxed);
+    next->completed = false;
+
+    // Swing the global tail to our fresh node; the node we get back is
+    // our publication slot (and our new spare once the op completes).
+    node* cur = tail_->exchange(next, std::memory_order_acq_rel);
+    cur->req = std::move(req);
+    cur->next.store(next, std::memory_order_release);
+    h.spare_ = cur;
+
+    // Wait until a combiner either completed our request or handed us
+    // the combiner role.
+    ffq::runtime::yielding_backoff bo;
+    while (cur->wait.load(std::memory_order_acquire)) bo.pause();
+    if (cur->completed) {
+      return std::move(cur->req);
+    }
+
+    // We are the combiner: serve the list starting at our own node.
+    node* tmp = cur;
+    int served = 0;
+    for (;;) {
+      node* nxt = tmp->next.load(std::memory_order_acquire);
+      if (nxt == nullptr || served >= kMaxCombine) break;
+      apply(tmp->req);
+      tmp->completed = true;
+      tmp->wait.store(false, std::memory_order_release);
+      tmp = nxt;
+      ++served;
+    }
+    // Hand the combiner role to the owner of `tmp` (not completed).
+    tmp->wait.store(false, std::memory_order_release);
+    return std::move(cur->req);
+  }
+
+ private:
+  node* new_node() {
+    node* n = new node;
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    pool_.push_back(n);
+    return n;
+  }
+
+  ffq::runtime::padded<std::atomic<node*>> tail_;
+  std::mutex pool_mutex_;  // cold path: node creation / destruction only
+  std::vector<node*> pool_;
+};
+
+/// The CC-Queue itself: sequential two-pointer linked queue + combining.
+template <typename T>
+class cc_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T> &&
+                std::is_nothrow_default_constructible_v<T>);
+
+  struct qnode {
+    qnode* next = nullptr;
+    T value{};
+  };
+
+  struct request {
+    enum class op : std::uint8_t { enqueue, dequeue } kind = op::enqueue;
+    T value{};
+    bool ok = false;
+  };
+
+ public:
+  using value_type = T;
+  static constexpr const char* kName = "cc-queue";
+
+  cc_queue() {
+    head_ = tail_ = new qnode;  // dummy
+  }
+
+  ~cc_queue() {
+    while (head_ != nullptr) {
+      qnode* n = head_->next;
+      delete head_;
+      head_ = n;
+    }
+    while (free_ != nullptr) {
+      qnode* n = free_->next;
+      delete free_;
+      free_ = n;
+    }
+  }
+
+  cc_queue(const cc_queue&) = delete;
+  cc_queue& operator=(const cc_queue&) = delete;
+
+  class handle {
+   public:
+    explicit handle(cc_queue& q) : inner_(q.sync_.make_handle()) {}
+
+   private:
+    friend class cc_queue;
+    typename combining<request>::handle inner_;
+  };
+
+  handle make_handle() { return handle(*this); }
+
+  void enqueue(handle& h, T value) {
+    request r;
+    r.kind = request::op::enqueue;
+    r.value = std::move(value);
+    sync_.execute(h.inner_, std::move(r),
+                  [this](request& req) { apply(req); });
+  }
+
+  bool try_dequeue(handle& h, T& out) {
+    request r;
+    r.kind = request::op::dequeue;
+    r = sync_.execute(h.inner_, std::move(r),
+                      [this](request& req) { apply(req); });
+    if (!r.ok) return false;
+    out = std::move(r.value);
+    return true;
+  }
+
+ private:
+  /// Sequential queue ops; only ever called by the current combiner, so
+  /// no synchronization needed. Nodes are recycled through a free list —
+  /// the property that makes ccqueue so fast sequentially.
+  void apply(request& req) {
+    if (req.kind == request::op::enqueue) {
+      qnode* n = free_;
+      if (n != nullptr) {
+        free_ = n->next;
+      } else {
+        n = new qnode;
+      }
+      n->next = nullptr;
+      n->value = std::move(req.value);
+      tail_->next = n;
+      tail_ = n;
+      req.ok = true;
+    } else {
+      qnode* first = head_->next;
+      if (first == nullptr) {
+        req.ok = false;
+        return;
+      }
+      req.value = std::move(first->value);
+      req.ok = true;
+      qnode* old = head_;
+      head_ = first;
+      old->next = free_;  // recycle the dummy
+      free_ = old;
+    }
+  }
+
+  combining<request> sync_;
+  alignas(ffq::runtime::kCacheLineSize) qnode* head_ = nullptr;
+  qnode* tail_ = nullptr;
+  qnode* free_ = nullptr;
+};
+
+}  // namespace ffq::baselines

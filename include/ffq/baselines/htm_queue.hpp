@@ -1,0 +1,95 @@
+// htm_queue.hpp — the paper's HTM baseline: a bounded circular buffer
+// whose enqueue/dequeue "simply execute ... inside hardware transactions"
+// (§V-G).
+//
+// The queue state inside the transactional region is deliberately plain
+// (non-atomic head/tail/array): the transaction provides atomicity and
+// isolation. On hardware without TSX the ffq::runtime::htm abstraction
+// emulates the region with a global lock + probabilistic conflict aborts
+// (DESIGN.md §5.3), which reproduces the baseline's signature behaviour:
+// fine single-threaded, collapsing under concurrency.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+#include "ffq/runtime/htm.hpp"
+
+namespace ffq::baselines {
+
+template <typename T>
+class htm_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T> &&
+                std::is_nothrow_default_constructible_v<T>);
+
+ public:
+  using value_type = T;
+  static constexpr const char* kName = "htm-queue";
+
+  explicit htm_queue(std::size_t capacity)
+      : mask_(capacity - 1), ring_(capacity) {
+    assert(ffq::core::capacity_info::valid(capacity));
+  }
+
+  /// Per-thread transaction context (holds the RNG/stats; required by
+  /// the htm abstraction).
+  class handle {
+   public:
+    explicit handle(htm_queue&, std::uint64_t seed = 1) : ctx_(seed) {}
+    const ffq::runtime::htm_stats& stats() const noexcept { return ctx_.stats(); }
+
+   private:
+    friend class htm_queue;
+    ffq::runtime::htm_context ctx_;
+  };
+
+  handle make_handle(std::uint64_t seed = 1) { return handle(*this, seed); }
+
+  /// False when full.
+  bool try_enqueue(handle& h, T value) {
+    bool ok = false;
+    h.ctx_.run(lock_, [&] {
+      if (tail_ - head_ > mask_) {
+        ok = false;
+        return;
+      }
+      ring_[tail_ & mask_] = std::move(value);
+      ++tail_;
+      ok = true;
+    });
+    return ok;
+  }
+
+  /// False when empty.
+  bool try_dequeue(handle& h, T& out) {
+    bool ok = false;
+    h.ctx_.run(lock_, [&] {
+      if (head_ == tail_) {
+        ok = false;
+        return;
+      }
+      out = std::move(ring_[head_ & mask_]);
+      ++head_;
+      ok = true;
+    });
+    return ok;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<T> ring_;
+  ffq::runtime::htm_lock lock_;
+  // Plain state: the transaction (or emulation lock) serializes access.
+  alignas(ffq::runtime::kCacheLineSize) std::uint64_t tail_ = 0;
+  alignas(ffq::runtime::kCacheLineSize) std::uint64_t head_ = 0;
+};
+
+}  // namespace ffq::baselines

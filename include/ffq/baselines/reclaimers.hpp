@@ -1,0 +1,82 @@
+// reclaimers.hpp — pluggable safe-memory-reclamation policies for the
+// node-based baseline queues.
+//
+// Two classic schemes with opposite trade-offs:
+//   * hazard pointers — per-pointer protection: bounded garbage, an
+//     extra seq_cst store per protected traversal step;
+//   * epochs — per-region protection: near-free reads, unbounded garbage
+//     while any reader stalls.
+// The MS queue is templated over the policy; bench_reclamation measures
+// the difference (an ablation the paper's §II survey implies but never
+// shows).
+//
+// Policy concept:
+//   struct reclaimer {
+//     class guard {            // one per operation, RAII
+//       T* protect(slot, const std::atomic<T*>& src);
+//       void retire(T* p);
+//     };
+//   };
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "ffq/runtime/epoch.hpp"
+#include "ffq/runtime/hazard.hpp"
+
+namespace ffq::baselines {
+
+struct hazard_reclaimer {
+  static constexpr const char* kName = "hazard";
+
+  class guard {
+   public:
+    guard() : rec_(&*ffq::runtime::tls_global_hazard()) {}
+    ~guard() { rec_->clear_all(); }
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    template <typename T>
+    T* protect(std::size_t slot, const std::atomic<T*>& src) noexcept {
+      return rec_->protect(slot, src);
+    }
+
+    template <typename T>
+    void retire(T* p) {
+      rec_->retire(p);
+    }
+
+   private:
+    ffq::runtime::hazard_domain::thread_record* rec_;
+  };
+};
+
+struct epoch_reclaimer {
+  static constexpr const char* kName = "epoch";
+
+  class guard {
+   public:
+    guard() : rec_(&ffq::runtime::tls_global_epoch()) { rec_->pin(); }
+    ~guard() { rec_->unpin(); }
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    /// Under an epoch pin a plain acquire load is already safe: nothing
+    /// reachable when we pinned can be freed until we unpin.
+    template <typename T>
+    T* protect(std::size_t /*slot*/, const std::atomic<T*>& src) noexcept {
+      return src.load(std::memory_order_acquire);
+    }
+
+    template <typename T>
+    void retire(T* p) {
+      rec_->retire(p);
+    }
+
+   private:
+    ffq::runtime::epoch_domain::thread_record* rec_;
+  };
+};
+
+}  // namespace ffq::baselines

@@ -1,0 +1,132 @@
+// batchqueue.hpp — BatchQueue (Preud'homme, Sopena, Thomas, Folliot,
+// ICPADS'12).
+//
+// Paper §II: "BatchQueue ... simplifies the design of MCRingBuffer by
+// using fewer control variables. BatchQueue avoids false sharing by
+// isolating producer and consumer in different parts of the queue."
+//
+// Reproduced mechanics: the ring is split into two halves; at any moment
+// the producer owns one half and the consumer (at most) the other, so the
+// data lines themselves are never shared while being written. The only
+// shared control state is one publication word per half, touched once per
+// half-buffer — not per item. `flush_producer()` publishes a partially
+// filled half (required to terminate a stream).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::baselines {
+
+template <typename T>
+class batchqueue {
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  using value_type = T;
+  static constexpr const char* kName = "batchqueue";
+
+  explicit batchqueue(std::size_t capacity)
+      : half_(capacity / 2), slots_(capacity) {
+    assert(ffq::core::capacity_info::valid(capacity) && capacity >= 4);
+  }
+
+  ~batchqueue() {
+    // Producer-owned partial half.
+    for (std::size_t i = 0; i < fill_; ++i) {
+      std::destroy_at(slots_[phalf_ * half_ + i].ptr());
+    }
+    // Published halves not yet (fully) consumed.
+    for (int h = 0; h < 2; ++h) {
+      const std::size_t n = avail_[h].value.load(std::memory_order_relaxed);
+      const std::size_t from =
+          (static_cast<std::size_t>(h) == chalf_) ? read_ : 0;
+      for (std::size_t i = from; i < n; ++i) {
+        std::destroy_at(slots_[static_cast<std::size_t>(h) * half_ + i].ptr());
+      }
+    }
+  }
+
+  /// Producer only. False when the other half has not been consumed yet
+  /// and the current half is full.
+  bool try_enqueue(T value) noexcept {
+    if (fill_ == half_) {
+      if (!switch_halves()) return false;
+    }
+    std::construct_at(slots_[phalf_ * half_ + fill_].ptr(), std::move(value));
+    ++fill_;
+    if (fill_ == half_) (void)switch_halves();  // eager publish when possible
+    return true;
+  }
+
+  /// Producer only: publish a partially filled half so the consumer can
+  /// see the tail of the stream. Returns false when the consumer still
+  /// owns the other half — retry until true (or until nothing is pending).
+  bool flush_producer() noexcept {
+    if (fill_ == 0) return true;
+    return switch_halves();
+  }
+
+  /// Consumer only.
+  bool try_dequeue(T& out) noexcept {
+    std::size_t n = avail_[chalf_].value.load(std::memory_order_acquire);
+    if (n == 0) return false;
+    T* p = slots_[chalf_ * half_ + read_].ptr();
+    out = std::move(*p);
+    std::destroy_at(p);
+    ++read_;
+    if (read_ == n) {
+      // Half fully consumed: hand it back and move to the other half.
+      read_ = 0;
+      avail_[chalf_].value.store(0, std::memory_order_release);
+      chalf_ ^= 1;
+    }
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return half_ * 2; }
+
+ private:
+  /// Publish the current half (fill_ items) and claim the other one.
+  /// Fails (returns false) while the consumer still owns the other half.
+  bool switch_halves() noexcept {
+    const std::size_t other = phalf_ ^ 1;
+    if (avail_[other].value.load(std::memory_order_acquire) != 0) {
+      return false;  // consumer has not released it yet
+    }
+    avail_[phalf_].value.store(fill_, std::memory_order_release);
+    phalf_ = other;
+    fill_ = 0;
+    return true;
+  }
+
+  struct slot {
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    T* ptr() noexcept { return std::launder(reinterpret_cast<T*>(storage)); }
+  };
+
+  std::size_t half_;
+  ffq::runtime::aligned_array<slot> slots_;
+
+  // One publication word per half, each on its own line.
+  ffq::runtime::padded<std::atomic<std::size_t>> avail_[2]{};
+
+  // Producer-private line.
+  alignas(ffq::runtime::kCacheLineSize) std::size_t phalf_ = 0;
+  std::size_t fill_ = 0;
+
+  // Consumer-private line.
+  alignas(ffq::runtime::kCacheLineSize) std::size_t chalf_ = 0;
+  std::size_t read_ = 0;
+};
+
+}  // namespace ffq::baselines

@@ -1,0 +1,111 @@
+// bqueue.hpp — B-Queue (Wang, Zhang, Tang, Hua, IJPP'13).
+//
+// Paper §II: "B-Queue improves the design of FastForward and MCRingBuffer
+// by adding a backtracking algorithm for deadlock detection due to
+// producer and consumer batching. It avoids using parameters that require
+// system-specific tuning."
+//
+// Reproduced mechanics:
+//  * like FastForward, full/empty is detected in-band (zero sentinel), so
+//    no shared control variables at all;
+//  * both sides reserve *batches* of slots: the producer probes the slot
+//    `batch` ahead — if it is free, the whole window is free (slots free
+//    up in order) and the next `batch` enqueues don't probe at all;
+//  * the consumer does the same for occupied slots, with *backtracking*:
+//    when the full batch probe fails, it halves the probe distance until
+//    a published slot is found (this is the deadlock-avoidance device —
+//    without it, a consumer waiting for a full batch and a producer
+//    waiting for batch space can starve each other on a quiet stream).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "ffq/baselines/spsc/fastforward.hpp"  // ff_sentinel
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::baselines {
+
+template <typename T, typename Sentinel = ff_sentinel<T>>
+class bqueue {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  using value_type = T;
+  static constexpr const char* kName = "b-queue";
+
+  explicit bqueue(std::size_t capacity, std::size_t batch = 64)
+      : mask_(capacity - 1), batch_(batch), slots_(capacity) {
+    assert(ffq::core::capacity_info::valid(capacity));
+    assert(batch >= 1 && batch <= capacity / 2);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].value.store(Sentinel::empty(), std::memory_order_relaxed);
+    }
+  }
+
+  /// Producer only.
+  bool try_enqueue(T value) noexcept {
+    assert(!Sentinel::is_empty(value));
+    if (tail_ == batch_tail_) {
+      // Reserve the next window by probing its far end.
+      const std::uint64_t probe = tail_ + batch_;
+      if (!Sentinel::is_empty(
+              slots_[probe & mask_].value.load(std::memory_order_acquire))) {
+        return false;  // window not free yet
+      }
+      batch_tail_ = probe;
+    }
+    slots_[tail_ & mask_].value.store(value, std::memory_order_release);
+    ++tail_;
+    return true;
+  }
+
+  /// Consumer only, with backtracking batch reservation.
+  bool try_dequeue(T& out) noexcept {
+    if (head_ == batch_head_) {
+      // Try to reserve a full batch of published slots; halve the probe
+      // distance on failure (backtracking) down to a single slot.
+      std::uint64_t window = batch_;
+      for (;;) {
+        const std::uint64_t probe = head_ + window - 1;
+        if (!Sentinel::is_empty(
+                slots_[probe & mask_].value.load(std::memory_order_acquire))) {
+          batch_head_ = head_ + window;
+          break;
+        }
+        if (window == 1) return false;  // truly empty at the head
+        window /= 2;
+      }
+    }
+    auto& s = slots_[head_ & mask_];
+    const T v = s.value.load(std::memory_order_acquire);
+    if (Sentinel::is_empty(v)) return false;  // defensive; reservation guarantees non-empty
+    out = v;
+    s.value.store(Sentinel::empty(), std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct slot {
+    std::atomic<T> value;
+  };
+
+  std::size_t mask_;
+  std::size_t batch_;
+  ffq::runtime::aligned_array<slot> slots_;
+
+  alignas(ffq::runtime::kCacheLineSize) std::uint64_t tail_ = 0;
+  std::uint64_t batch_tail_ = 0;
+
+  alignas(ffq::runtime::kCacheLineSize) std::uint64_t head_ = 0;
+  std::uint64_t batch_head_ = 0;
+};
+
+}  // namespace ffq::baselines

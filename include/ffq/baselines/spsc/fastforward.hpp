@@ -1,0 +1,92 @@
+// fastforward.hpp — FastForward SPSC queue (Giacomoni et al., PPoPP'08).
+//
+// Paper §II: "It uses temporal slipping to avoid cache thrashing ... In
+// practical terms, however, slipping requires system-specific tuning".
+// The core idea reproduced here: head and tail are *private* to consumer
+// and producer; emptiness/fullness is signalled in-band through the cell
+// itself (a NULL-like sentinel), so the two sides never touch each other's
+// control variables. The price is that the sentinel must not be a valid
+// payload — the queue stores `T*`-like nullable values, expressed as an
+// `empty_value` customization.
+//
+// Temporal slipping (the tuned producer/consumer distance) is optional
+// and off by default, matching how the FFQ paper characterizes it.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::baselines {
+
+/// Customization point: the in-band "empty" sentinel. Specialize for
+/// payload types where 0 is a legal value.
+template <typename T>
+struct ff_sentinel {
+  static constexpr T empty() noexcept { return T{}; }
+  static constexpr bool is_empty(const T& v) noexcept { return v == T{}; }
+};
+
+/// FastForward queue for trivially-copyable payloads with a reserved
+/// empty value (pointers, non-zero handles, 1-based sequence numbers).
+template <typename T, typename Sentinel = ff_sentinel<T>>
+class fastforward_queue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FastForward publishes items by plain atomic store");
+
+ public:
+  using value_type = T;
+  static constexpr const char* kName = "fastforward";
+
+  explicit fastforward_queue(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    assert(ffq::core::capacity_info::valid(capacity));
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].value.store(Sentinel::empty(), std::memory_order_relaxed);
+    }
+  }
+
+  /// Producer only. False when the target cell is still occupied (full).
+  bool try_enqueue(T value) noexcept {
+    assert(!Sentinel::is_empty(value) && "payload equals the empty sentinel");
+    auto& s = slots_[*tail_ & mask_];
+    if (!Sentinel::is_empty(s.value.load(std::memory_order_acquire))) {
+      return false;
+    }
+    s.value.store(value, std::memory_order_release);
+    ++*tail_;
+    return true;
+  }
+
+  /// Consumer only. False when the next cell is empty.
+  bool try_dequeue(T& out) noexcept {
+    auto& s = slots_[*head_ & mask_];
+    const T v = s.value.load(std::memory_order_acquire);
+    if (Sentinel::is_empty(v)) return false;
+    out = v;
+    s.value.store(Sentinel::empty(), std::memory_order_release);
+    ++*head_;
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct slot {
+    std::atomic<T> value;
+  };
+
+  std::size_t mask_;
+  ffq::runtime::aligned_array<slot> slots_;
+  // Both counters are strictly private to one side — the whole point.
+  ffq::runtime::padded<std::uint64_t> tail_{0};
+  ffq::runtime::padded<std::uint64_t> head_{0};
+};
+
+}  // namespace ffq::baselines

@@ -1,0 +1,81 @@
+// lamport.hpp — Lamport's classic single-producer/single-consumer ring
+// buffer [Lamport'83], the ancestor of every queue in this repository
+// (paper §II: "MCRingBuffer is an extension of Lamport's basic ring
+// buffer").
+//
+// Head and tail are shared atomics read by both sides on every operation;
+// the resulting cache-line ping-pong on the control variables is precisely
+// the cost FastForward/MCRingBuffer/FFQ were designed to remove, which
+// makes this the natural floor for the SPSC ablation bench.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::baselines {
+
+template <typename T>
+class lamport_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  using value_type = T;
+  static constexpr const char* kName = "lamport";
+
+  explicit lamport_queue(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    assert(ffq::core::capacity_info::valid(capacity));
+  }
+
+  ~lamport_queue() {
+    const auto h = head_->load(std::memory_order_relaxed);
+    const auto t = tail_->load(std::memory_order_relaxed);
+    for (auto i = h; i != t; ++i) std::destroy_at(slots_[i & mask_].ptr());
+  }
+
+  /// Producer only. False when the ring is full.
+  bool try_enqueue(T value) noexcept {
+    const auto t = tail_->load(std::memory_order_relaxed);
+    const auto h = head_->load(std::memory_order_acquire);
+    if (t - h > mask_) return false;  // full at exactly `capacity` in-flight items
+    std::construct_at(slots_[t & mask_].ptr(), std::move(value));
+    tail_->store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. False when the ring is empty.
+  bool try_dequeue(T& out) noexcept {
+    const auto h = head_->load(std::memory_order_relaxed);
+    const auto t = tail_->load(std::memory_order_acquire);
+    if (h == t) return false;
+    T* p = slots_[h & mask_].ptr();
+    out = std::move(*p);
+    std::destroy_at(p);
+    head_->store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct slot {
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    T* ptr() noexcept { return std::launder(reinterpret_cast<T*>(storage)); }
+  };
+
+  std::uint64_t mask_;
+  ffq::runtime::aligned_array<slot> slots_;
+  ffq::runtime::padded<std::atomic<std::uint64_t>> tail_{0};
+  ffq::runtime::padded<std::atomic<std::uint64_t>> head_{0};
+};
+
+}  // namespace ffq::baselines

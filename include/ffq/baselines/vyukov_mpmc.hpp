@@ -1,0 +1,125 @@
+// vyukov_mpmc.hpp — Dmitry Vyukov's bounded MPMC queue.
+//
+// This is the "external MPMC queue" the paper's application benchmark
+// compares against (footnote 8 links to 1024cores.net's bounded MPMC
+// queue), and the queue whose poor fan-out scalability motivated FFQ in
+// the first place (Fig. 7: "the binary with FFQ achieves a 5 times higher
+// throughput").
+//
+// Each cell carries a sequence number; enqueue/dequeue race for cells with
+// a single CAS on the respective counter after validating the sequence —
+// no per-cell CAS, but the head/tail counters are contended by all
+// participants.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::baselines {
+
+template <typename T>
+class vyukov_mpmc_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  using value_type = T;
+  static constexpr const char* kName = "vyukov-mpmc";
+
+  explicit vyukov_mpmc_queue(std::size_t capacity)
+      : mask_(capacity - 1), cells_(capacity) {
+    assert(ffq::core::capacity_info::valid(capacity));
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ~vyukov_mpmc_queue() {
+    T out;
+    while (try_dequeue(out)) {
+    }
+  }
+
+  /// False when the queue is full.
+  bool try_enqueue(T value) noexcept {
+    cell* c;
+    std::uint64_t pos = tail_->load(std::memory_order_relaxed);
+    for (;;) {
+      c = &cells_[pos & mask_];
+      const std::uint64_t seq = c->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_->compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // cell not yet freed by a consumer: full
+      } else {
+        pos = tail_->load(std::memory_order_relaxed);
+      }
+    }
+    std::construct_at(c->ptr(), std::move(value));
+    c->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty.
+  bool try_dequeue(T& out) noexcept {
+    cell* c;
+    std::uint64_t pos = head_->load(std::memory_order_relaxed);
+    for (;;) {
+      c = &cells_[pos & mask_];
+      const std::uint64_t seq = c->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_->compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // not yet published: empty
+      } else {
+        pos = head_->load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(*c->ptr());
+    std::destroy_at(c->ptr());
+    c->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking convenience wrappers (spin with back-off) so the harness
+  /// can drive every queue through one interface.
+  void enqueue(T value) noexcept {
+    ffq::runtime::exp_backoff bo;
+    while (!try_enqueue(std::move(value))) bo.pause();
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct alignas(ffq::runtime::kCacheLineSize) cell {
+    std::atomic<std::uint64_t> seq;
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    T* ptr() noexcept { return std::launder(reinterpret_cast<T*>(storage)); }
+  };
+
+  std::uint64_t mask_;
+  ffq::runtime::aligned_array<cell> cells_;
+  ffq::runtime::padded<std::atomic<std::uint64_t>> tail_{0};
+  ffq::runtime::padded<std::atomic<std::uint64_t>> head_{0};
+};
+
+}  // namespace ffq::baselines

@@ -1,0 +1,254 @@
+// wf_queue.hpp — the Yang & Mellor-Crummey fetch-and-add queue
+// (PPoPP'16), fast-path implementation.
+//
+// Paper §II: "WFQueue provides a wait-free, unbounded MPMC queue that
+// also relies on fetch-and-add operations, hence avoiding CAS retries ...
+// It uses a fast-path/slow-path approach." In Fig. 8 it is the strongest
+// competitor to FFQ^m on Intel.
+//
+// What is reproduced (see DESIGN.md §5.5): the *fast path*, which is what
+// the throughput benchmarks exercise — an unbounded array materialized as
+// linked segments, enqueue = FAA on the tail index + CAS of the cell from
+// BOTTOM, dequeue = FAA on the head index + XCHG of the cell to TOP. A
+// poisoned cell (dequeuer arrived first) sends the enqueuer to a fresh
+// index. What is NOT reproduced: the wait-free helping protocol
+// (patience/phase records); progress here is lock-free, like LCRQ.
+//
+// Threads operate through per-thread handles (`queue_register` in the
+// original artifact). Memory reclamation follows the original's scheme:
+// each handle keeps *sticky, monotone* pointers to the last segment it
+// used on each side; these are never cleared between operations, so the
+// reclamation floor (the minimum over all handles) can never pass a
+// segment any thread — even one stalled right after its fetch-and-add —
+// may still access. Reclamation frees the chain prefix below the floor
+// under a try-lock (cold path: once per segment).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::baselines {
+
+class wf_queue {
+ public:
+  using value_type = std::uint64_t;
+  static constexpr const char* kName = "wfqueue";
+
+  /// Cells per segment (the original also uses 2^10).
+  static constexpr std::size_t kSegmentCells = 1024;
+
+  /// Reserved cell states; payloads must avoid both (the harness's
+  /// sequence numbers never get near 2^64-2).
+  static constexpr std::uint64_t kBottom = ~0ULL;   ///< never written
+  static constexpr std::uint64_t kTop = ~0ULL - 1;  ///< poisoned by a dequeuer
+
+
+ private:
+  struct segment {
+    explicit segment(std::uint64_t seg_id) : id(seg_id) {
+      for (auto& c : cells) c.store(kBottom, std::memory_order_relaxed);
+    }
+    const std::uint64_t id;
+    std::atomic<segment*> next{nullptr};
+    std::atomic<std::uint64_t> cells[kSegmentCells];
+  };
+
+  /// Per-handle sticky protection record (see file comment).
+  struct record {
+    std::atomic<segment*> enq_seg{nullptr};
+    std::atomic<segment*> deq_seg{nullptr};
+    bool active = true;
+  };
+
+ public:
+  wf_queue() { first_ = new segment(0); }
+
+  wf_queue(const wf_queue&) = delete;
+  wf_queue& operator=(const wf_queue&) = delete;
+
+  ~wf_queue() {
+    segment* s = first_;
+    while (s != nullptr) {
+      segment* n = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = n;
+    }
+  }
+
+  /// Per-thread access token. Holds the sticky segment protections.
+  /// Handles must not outlive the queue; a live but idle handle stalls
+  /// reclamation (as in the original), it never breaks safety.
+  class handle {
+   public:
+    explicit handle(wf_queue& q) : q_(&q) {
+      std::lock_guard<std::mutex> lk(q.reclaim_mutex_);
+      rec_ = q.alloc_record_locked();
+      rec_->enq_seg.store(q.first_, std::memory_order_relaxed);
+      rec_->deq_seg.store(q.first_, std::memory_order_relaxed);
+    }
+
+    ~handle() {
+      if (q_ != nullptr) {
+        std::lock_guard<std::mutex> lk(q_->reclaim_mutex_);
+        rec_->active = false;  // drops out of the reclamation floor
+      }
+    }
+
+    handle(handle&& o) noexcept
+        : q_(std::exchange(o.q_, nullptr)), rec_(o.rec_) {}
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+
+   private:
+    friend class wf_queue;
+    wf_queue* q_;
+    record* rec_ = nullptr;
+  };
+
+  handle make_handle() { return handle(*this); }
+
+  /// Lock-free; any thread (through its own handle).
+  void enqueue(handle& h, std::uint64_t value) {
+    assert(value < kTop);
+    for (;;) {
+      const std::uint64_t t = tail_idx_->fetch_add(1, std::memory_order_acq_rel);
+      std::atomic<std::uint64_t>& c = locate(h.rec_->enq_seg, t);
+      std::uint64_t expected = kBottom;
+      if (c.compare_exchange_strong(expected, value, std::memory_order_release,
+                                    std::memory_order_acquire)) {
+        return;
+      }
+      // Cell poisoned by an overtaking dequeuer: take a fresh index.
+    }
+  }
+
+  /// Lock-free; any thread. False when (linearizably) empty.
+  bool try_dequeue(handle& h, std::uint64_t& out) {
+    for (;;) {
+      // Pre-check keeps an empty poll from burning tickets (and poisoning
+      // cells future enqueuers would have to skip).
+      if (head_idx_->load(std::memory_order_acquire) >=
+          tail_idx_->load(std::memory_order_acquire)) {
+        return false;
+      }
+      const std::uint64_t hd = head_idx_->fetch_add(1, std::memory_order_acq_rel);
+      std::atomic<std::uint64_t>& c = locate(h.rec_->deq_seg, hd);
+      const std::uint64_t v = c.exchange(kTop, std::memory_order_acq_rel);
+      if (v != kBottom) {
+        out = v;
+        maybe_reclaim(hd / kSegmentCells);
+        return true;
+      }
+      // We poisoned an empty cell (overtook the enqueuer of this index).
+      const std::uint64_t t = tail_idx_->load(std::memory_order_acquire);
+      if (t <= hd + 1) return false;  // empty at linearization
+    }
+  }
+
+  /// Diagnostics.
+  std::uint64_t segments_allocated() const noexcept {
+    return segs_allocated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t segments_freed() const noexcept {
+    return segs_freed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Find the cell for global index `idx`, walking (and allocating)
+  /// segments forward from the handle's sticky anchor `sticky`.
+  ///
+  /// Safety: `sticky` always points at a live segment (the floor never
+  /// passes it), per-side indexes are handed out monotonically per
+  /// thread, so the wanted segment id is never *behind* the sticky one;
+  /// and every segment the walk touches has id >= sticky->id >= floor, so
+  /// none of them can be freed mid-walk. The sticky pointer is advanced
+  /// as the walk proceeds (monotone), which is also what publishes the
+  /// new protection — a reclaimer that reads a stale value just computes
+  /// a lower (more conservative) floor.
+  std::atomic<std::uint64_t>& locate(std::atomic<segment*>& sticky,
+                                     std::uint64_t idx) {
+    const std::uint64_t want = idx / kSegmentCells;
+    segment* s = sticky.load(std::memory_order_relaxed);
+    assert(s->id <= want && "per-side indexes are monotone per thread");
+    while (s->id < want) {
+      segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        auto* fresh = new segment(s->id + 1);
+        segment* expected = nullptr;
+        if (s->next.compare_exchange_strong(expected, fresh,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+          segs_allocated_.fetch_add(1, std::memory_order_relaxed);
+          next = fresh;
+        } else {
+          delete fresh;
+          next = expected;
+        }
+      }
+      s = next;
+      sticky.store(s, std::memory_order_release);
+    }
+    return s->cells[idx % kSegmentCells];
+  }
+
+  /// Opportunistically free segments every thread has moved past. Cold:
+  /// called once per segment's worth of dequeues, and skipped entirely
+  /// when another thread is already reclaiming.
+  void maybe_reclaim(std::uint64_t reached_seg_id) {
+    if (reached_seg_id == 0 ||
+        reached_seg_id <= last_reclaim_seg_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::unique_lock<std::mutex> lk(reclaim_mutex_, std::try_to_lock);
+    if (!lk.owns_lock()) return;
+    last_reclaim_seg_.store(reached_seg_id, std::memory_order_relaxed);
+
+    // Floor: the oldest segment any live handle may still touch. Stale
+    // (older) reads are conservative; sticky pointers only move forward.
+    std::uint64_t floor = reached_seg_id;
+    for (const auto& r : records_) {
+      if (!r->active) continue;
+      floor = std::min(floor, r->enq_seg.load(std::memory_order_acquire)->id);
+      floor = std::min(floor, r->deq_seg.load(std::memory_order_acquire)->id);
+    }
+    while (first_->id < floor) {
+      segment* next = first_->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;  // never free the last segment
+      delete first_;
+      segs_freed_.fetch_add(1, std::memory_order_relaxed);
+      first_ = next;
+    }
+  }
+
+  record* alloc_record_locked() {
+    for (auto& r : records_) {
+      if (!r->active) {
+        r->active = true;
+        return r.get();
+      }
+    }
+    records_.push_back(std::make_unique<record>());
+    return records_.back().get();
+  }
+
+  ffq::runtime::padded<std::atomic<std::uint64_t>> tail_idx_{0};
+  ffq::runtime::padded<std::atomic<std::uint64_t>> head_idx_{0};
+  std::atomic<std::uint64_t> segs_allocated_{1};
+  std::atomic<std::uint64_t> segs_freed_{0};
+  std::atomic<std::uint64_t> last_reclaim_seg_{0};
+
+  std::mutex reclaim_mutex_;                            // cold paths only
+  std::vector<std::unique_ptr<record>> records_;  // guarded by mutex
+  segment* first_;  // oldest live segment; guarded by reclaim_mutex_
+};
+
+}  // namespace ffq::baselines

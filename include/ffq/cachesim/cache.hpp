@@ -1,0 +1,82 @@
+// cache.hpp — a set-associative cache model with LRU replacement.
+//
+// Substrate for reproducing the paper's Fig. 4–5 (L2/L3 hit ratios,
+// cache misses and memory bandwidth as a function of queue size and
+// thread placement) in environments where PMU counters are unavailable
+// (DESIGN.md §5.2). The model tracks presence/eviction only — no data —
+// which is sufficient for hit-ratio and traffic questions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ffq::cachesim {
+
+/// Geometry of one cache level.
+struct cache_geometry {
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t ways = 8;
+  std::size_t line_bytes = 64;
+
+  std::size_t num_sets() const { return size_bytes / (line_bytes * ways); }
+  bool valid() const {
+    return line_bytes > 0 && ways > 0 && size_bytes % (line_bytes * ways) == 0 &&
+           (num_sets() & (num_sets() - 1)) == 0;
+  }
+};
+
+/// Hit/miss/traffic counters for one cache instance.
+struct cache_stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double hit_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// One set-associative, true-LRU cache. Addresses are byte addresses;
+/// the cache internally operates on line addresses.
+class set_assoc_cache {
+ public:
+  explicit set_assoc_cache(const cache_geometry& geo);
+
+  /// Access a byte address. Returns true on hit; on miss the line is
+  /// installed (allocate-on-miss for both reads and writes) and
+  /// `evicted_line` receives the victim line address (or ~0 if none).
+  bool access(std::uint64_t addr, std::uint64_t* evicted_line = nullptr);
+
+  /// Probe without updating LRU or installing.
+  bool contains(std::uint64_t addr) const;
+
+  /// Remove a line if present (coherence invalidation). Returns true if
+  /// the line was present.
+  bool invalidate_line(std::uint64_t line_addr);
+
+  const cache_stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  const cache_geometry& geometry() const { return geo_; }
+
+  std::uint64_t line_of(std::uint64_t addr) const { return addr / geo_.line_bytes; }
+
+ private:
+  struct way_entry {
+    std::uint64_t line = kInvalid;
+    std::uint64_t lru = 0;  // larger = more recent
+  };
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+
+  std::size_t set_of_line(std::uint64_t line) const { return line & set_mask_; }
+
+  cache_geometry geo_;
+  std::size_t set_mask_;
+  std::uint64_t tick_ = 0;
+  std::vector<way_entry> ways_;  // sets * ways, row-major by set
+  cache_stats stats_;
+};
+
+}  // namespace ffq::cachesim

@@ -1,0 +1,48 @@
+// queue_trace.hpp — replay the FFQ producer/consumer access pattern
+// through the cache hierarchy.
+//
+// Reproduces the *mechanism* behind Figs. 4–5: for a 1-producer /
+// 1-consumer FFQ, the memory trace is fully determined by the queue
+// geometry (entries × cell size × index mapping), the producer/consumer
+// distance ("lag" — how far the queue decouples the two), and whether
+// the two threads share private caches (same core: the paper's same-HT
+// and sibling-HT placements) or only the L3 (other-core / no-affinity).
+//
+// The replay produces L1/L2/L3 hit ratios, L3 miss counts, memory
+// traffic, and coherence invalidations, plus a latency-weighted IPC
+// proxy. Core frequency (one panel of Fig. 4) is not modelled; the
+// hardware perf path reports it when available.
+#pragma once
+
+#include <cstdint>
+
+#include "ffq/cachesim/hierarchy.hpp"
+
+namespace ffq::cachesim {
+
+struct queue_trace_config {
+  std::size_t queue_entries = 1 << 16;
+  std::size_t cell_bytes = 64;      ///< 24 = compact, 64 = cache-aligned
+  bool randomized_index = false;    ///< rotate-by-4 mapping (§IV-A)
+  std::uint64_t items = 1'000'000;  ///< enqueue/dequeue pairs to replay
+  bool shared_domain = false;       ///< true: same core (same/sibling HT)
+  std::size_t lag = 0;              ///< consumer distance; 0 = entries/2
+  hierarchy_config hw{};
+};
+
+struct queue_trace_result {
+  double l1_hit_ratio = 0.0;
+  double l2_hit_ratio = 0.0;
+  double l3_hit_ratio = 0.0;
+  std::uint64_t l3_misses = 0;
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t coherence_invalidations = 0;
+  /// Latency-weighted instructions-per-cycle proxy (higher = better).
+  double ipc_proxy = 0.0;
+  /// Estimated memory-system cycles per enqueue+dequeue pair.
+  double cycles_per_pair = 0.0;
+};
+
+queue_trace_result simulate_queue_trace(const queue_trace_config& cfg);
+
+}  // namespace ffq::cachesim

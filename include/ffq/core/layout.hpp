@@ -1,0 +1,102 @@
+// layout.hpp — memory-mapping policies for FFQ cell arrays.
+//
+// Paper §IV-A evaluates four combinations of two orthogonal techniques
+// (Fig. 2):
+//   * dedicated cache lines — each cell alone in a 64-byte line
+//     ("Aligned"), vs. packed 24-byte cells ("Not aligned");
+//   * address randomization — "we rotate the bits of the index by 4,
+//     effectively placing two consecutive cells 16 positions apart in
+//     memory, which will place them in distinct cache lines."
+//
+// A layout policy contributes (a) the cell alignment and (b) the
+// logical-slot → physical-slot permutation. Policies are compile-time so
+// the hot-path index computation inlines to a couple of ALU ops.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::core {
+
+/// Rotate the low `bits` bits of `i` left by `r` (a permutation of
+/// [0, 2^bits)). With r = 4, logically consecutive slots land 16 physical
+/// slots apart.
+constexpr std::size_t rotate_index(std::size_t i, unsigned bits, unsigned r) noexcept {
+  if (bits <= r) return i;  // too few slots to permute meaningfully
+  const std::size_t mask = (std::size_t{1} << bits) - 1;
+  return ((i << r) | (i >> (bits - r))) & mask;
+}
+
+/// "Not aligned": packed cells, identity mapping. Smallest footprint,
+/// best cache utilization for 1p/1c, worst false sharing under fan-out.
+struct layout_compact {
+  static constexpr bool kCacheAligned = false;
+  static constexpr const char* kName = "not-aligned";
+  static constexpr std::size_t map(std::size_t slot, unsigned /*log2n*/) noexcept {
+    return slot;
+  }
+};
+
+/// "Aligned": each cell on a dedicated cache line, identity mapping.
+struct layout_aligned {
+  static constexpr bool kCacheAligned = true;
+  static constexpr const char* kName = "aligned";
+  static constexpr std::size_t map(std::size_t slot, unsigned /*log2n*/) noexcept {
+    return slot;
+  }
+};
+
+/// "Randomized": packed cells, index rotated by 4.
+struct layout_randomized {
+  static constexpr bool kCacheAligned = false;
+  static constexpr const char* kName = "randomized";
+  static constexpr unsigned kRotate = 4;
+  static constexpr std::size_t map(std::size_t slot, unsigned log2n) noexcept {
+    return rotate_index(slot, log2n, kRotate);
+  }
+};
+
+/// "Both": dedicated cache lines and rotated indexes.
+struct layout_aligned_randomized {
+  static constexpr bool kCacheAligned = true;
+  static constexpr const char* kName = "aligned+randomized";
+  static constexpr unsigned kRotate = 4;
+  static constexpr std::size_t map(std::size_t slot, unsigned log2n) noexcept {
+    return rotate_index(slot, log2n, kRotate);
+  }
+};
+
+/// Capacity bookkeeping shared by every queue: power-of-two size, mask,
+/// and log2 precomputed for the layout permutation.
+class capacity_info {
+ public:
+  explicit constexpr capacity_info(std::size_t capacity)
+      : size_(capacity),
+        mask_(capacity - 1),
+        log2_(static_cast<unsigned>(std::bit_width(capacity) - 1)) {}
+
+  static constexpr bool valid(std::size_t capacity) noexcept {
+    return capacity >= 2 && std::has_single_bit(capacity);
+  }
+
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr std::size_t mask() const noexcept { return mask_; }
+  constexpr unsigned log2() const noexcept { return log2_; }
+
+  /// rank → physical slot under layout L. The modulo of the paper is a
+  /// mask because capacity is a power of two.
+  template <typename L>
+  constexpr std::size_t slot(std::int64_t rank) const noexcept {
+    return L::map(static_cast<std::size_t>(rank) & mask_, log2_);
+  }
+
+ private:
+  std::size_t size_;
+  std::size_t mask_;
+  unsigned log2_;
+};
+
+}  // namespace ffq::core

@@ -1,0 +1,229 @@
+// mpmc.hpp — FFQ^m: the multi-producer extension (paper Algorithm 2).
+//
+// Differences from FFQ^s (§III-B):
+//  * `tail` becomes a shared fetch-and-add ticket dispenser, like `head`.
+//  * Producers must exclude one another on a cell. A producer wins a free
+//    cell by double-word CAS of the adjacent (rank, gap) pair from
+//    (-1, g) to (-2, g): the -2 reservation keeps consumers out (they
+//    look for rank == mine ≥ 0) while preventing another producer from
+//    claiming the cell or moving `gap` — which closes both races the
+//    paper describes (lost update by a sleeping producer; "enqueue in the
+//    past" past a moved gap).
+//  * Gap announcements also go through the DWCAS, (r, g) → (r, rank), so
+//    a gap can never move backwards and can never be installed over a
+//    concurrent claim.
+//  * Progress: enqueue is lock-free (not wait-free) under the
+//    free-slot assumption; dequeue is no longer lock-free because a
+//    stalled producer holding a -2 reservation can make consumers of that
+//    rank wait (paper §III-B, last paragraph).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+#include "ffq/runtime/dwcas.hpp"
+
+namespace ffq::core {
+
+namespace detail {
+
+inline constexpr std::int64_t kCellFree = -1;      ///< no item, claimable
+inline constexpr std::int64_t kCellReserved = -2;  ///< producer mid-write
+
+/// MPMC cell: the (rank, gap) pair sits in one 16-byte unit ("placing the
+/// rank and gap fields consecutively in the same cache line", §III-B) so
+/// a single cmpxchg16b covers both.
+template <typename T>
+struct mpmc_cell_fields {
+  ffq::runtime::atomic_i64_pair rg;  ///< first = rank, second = gap
+  alignas(alignof(T)) unsigned char storage[sizeof(T)];
+
+  mpmc_cell_fields() noexcept {
+    rg.first.store(kCellFree, std::memory_order_relaxed);
+    rg.second.store(-1, std::memory_order_relaxed);
+  }
+
+  T* ptr() noexcept { return std::launder(reinterpret_cast<T*>(storage)); }
+};
+
+template <typename T, bool CacheAligned>
+struct mpmc_cell : mpmc_cell_fields<T> {};
+
+template <typename T>
+struct alignas(ffq::runtime::kCacheLineSize) mpmc_cell<T, true>
+    : mpmc_cell_fields<T> {};
+
+}  // namespace detail
+
+template <typename T, typename Layout = layout_aligned>
+class mpmc_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "cell publication cannot be rolled back after a throwing move");
+
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr const char* kName = "ffq-mpmc";
+
+  explicit mpmc_queue(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
+    assert(capacity_info::valid(capacity) && "capacity must be a power of two >= 2");
+  }
+
+  mpmc_queue(const mpmc_queue&) = delete;
+  mpmc_queue& operator=(const mpmc_queue&) = delete;
+
+  ~mpmc_queue() {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      auto& c = cells_[i];
+      if (c.rg.first.load(std::memory_order_relaxed) >= 0) {
+        std::destroy_at(c.ptr());
+      }
+    }
+  }
+
+  /// Enqueue one item (any number of producer threads). Lock-free while
+  /// the queue has free cells.
+  void enqueue(T value) noexcept {
+    assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
+           "enqueue after close()");
+    ffq::runtime::yielding_backoff backoff;
+    std::size_t gaps_this_call = 0;
+    for (;;) {
+      const std::int64_t rank = tail_->fetch_add(1, std::memory_order_relaxed);
+      auto& c = cells_[cap_.template slot<Layout>(rank)];
+      for (;;) {
+        const std::int64_t g = c.rg.second.load(std::memory_order_acquire);
+        if (g >= rank) {
+          // Our rank is already "in the past" at this cell (another
+          // producer announced a gap covering it): abandon the rank —
+          // consumers skip it via the same gap — and draw a fresh one.
+          break;
+        }
+        const std::int64_t r = c.rg.first.load(std::memory_order_acquire);
+        if (r >= 0) {
+          if (gaps_this_call >= cap_.size() && r < rank) {
+            // One full sweep produced only gaps: the ring is full. Stop
+            // burning ranks (each dead rank costs every consumer a
+            // fetch-add) and wait for this cell to drain; we still hold a
+            // valid rank for it. Lock-freedom is already forfeit in this
+            // regime (see the class comment on progress).
+            //
+            // Waiting is only sound while the cell holds an *older* rank
+            // (r < ours): consumers reach r before our rank, so the cell
+            // drains independently of us. If another producer already
+            // published a *later* rank here (r > ours, possible with
+            // concurrent producers on a full ring), a consumer may be
+            // parked on our rank behind it — waiting would deadlock that
+            // consumer, so the gap for our rank must be announced.
+            // (Found by the model checker; see tests/test_model.cpp.)
+            backoff.pause();
+            continue;
+          }
+          // Occupied by an unconsumed item: announce the gap. The DWCAS
+          // fails if the item is consumed or the gap moves concurrently;
+          // then re-examine the cell.
+          typename ffq::runtime::atomic_i64_pair::value_type expected{r, g};
+          if (c.rg.compare_exchange(expected, {r, rank})) {
+            gaps_.fetch_add(1, std::memory_order_relaxed);
+            ++gaps_this_call;
+            break;  // gap announced for our rank; acquire a new rank
+          }
+          continue;
+        }
+        if (r == detail::kCellFree) {
+          // Claim attempt: (-1, g) → (-2, g). Failure means another
+          // producer claimed it or a gap moved; re-examine.
+          typename ffq::runtime::atomic_i64_pair::value_type expected{
+              detail::kCellFree, g};
+          if (c.rg.compare_exchange(expected, {detail::kCellReserved, g})) {
+            std::construct_at(c.ptr(), std::move(value));
+            c.rg.first.store(rank, std::memory_order_release);  // publish
+            return;
+          }
+          continue;
+        }
+        // r == kCellReserved: another producer is between its claim and
+        // its publish; wait for it (this is the non-wait-free window).
+        backoff.pause();
+      }
+    }
+  }
+
+  /// Dequeue one item (any number of consumer threads). Same protocol as
+  /// spmc_queue::dequeue; a -2 reservation reads as "producer still
+  /// writing" and is awaited.
+  bool dequeue(T& out) noexcept {
+    std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
+    ffq::runtime::yielding_backoff backoff;
+    for (;;) {
+      auto& c = cells_[cap_.template slot<Layout>(rank)];
+      for (;;) {
+        if (c.rg.first.load(std::memory_order_acquire) == rank) {
+          out = std::move(*c.ptr());
+          std::destroy_at(c.ptr());
+          c.rg.first.store(detail::kCellFree, std::memory_order_release);
+          return true;
+        }
+        if (c.rg.second.load(std::memory_order_acquire) >= rank &&
+            c.rg.first.load(std::memory_order_acquire) != rank) {
+          skips_.fetch_add(1, std::memory_order_relaxed);
+          rank = head_->fetch_add(1, std::memory_order_relaxed);
+          backoff.reset();
+          break;
+        }
+        const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
+        if (closed >= 0 && rank >= closed) return false;
+        backoff.pause();
+      }
+    }
+  }
+
+  /// Close at the current tail. Precondition: every enqueue() call has
+  /// returned (with concurrent producers a tail snapshot is only
+  /// meaningful once they quiesce).
+  void close() noexcept {
+    closed_tail_.store(tail_->load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+
+  bool closed() const noexcept {
+    return closed_tail_.load(std::memory_order_acquire) >= 0;
+  }
+
+  std::size_t capacity() const noexcept { return cap_.size(); }
+
+  std::int64_t approx_size() const noexcept {
+    const auto t = tail_->load(std::memory_order_relaxed);
+    const auto h = head_->load(std::memory_order_relaxed);
+    return t > h ? t - h : 0;
+  }
+
+  std::uint64_t gaps_created() const noexcept {
+    return gaps_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t consumer_skips() const noexcept {
+    return skips_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using cell = detail::mpmc_cell<T, Layout::kCacheAligned>;
+
+  capacity_info cap_;
+  ffq::runtime::aligned_array<cell> cells_;
+  ffq::runtime::padded<std::atomic<std::int64_t>> tail_{0};
+  ffq::runtime::padded<std::atomic<std::int64_t>> head_{0};
+  std::atomic<std::int64_t> closed_tail_{-1};
+  std::atomic<std::uint64_t> gaps_{0};
+  std::atomic<std::uint64_t> skips_{0};
+};
+
+}  // namespace ffq::core

@@ -1,0 +1,224 @@
+// spmc.hpp — FFQ^s: the single-producer/multiple-consumer FIFO queue
+// (paper Algorithm 1).
+//
+// Operating principles (paper §III-A):
+//  * A bounded circular array of cells, each holding (data, rank, gap).
+//    `rank` is the monotonically-increasing insertion number of the item
+//    in the cell (-1 when the cell is free); `gap` announces ranks the
+//    producer skipped.
+//  * The producer owns `tail`; it enqueues at rank `tail` if the mapped
+//    cell is free, otherwise it announces a gap and moves on. Wait-free
+//    under the paper's standing assumption that the array never fills
+//    (Proposition 1).
+//  * Consumers draw unique ranks from the shared `head` with
+//    fetch-and-increment and then synchronize only through the cell:
+//    rank == mine → take it; gap ≥ mine (and rank ≠ mine on re-check) →
+//    my rank was skipped, draw a new one; otherwise the producer is still
+//    writing → back off. Lock-free (Proposition 2).
+//
+// Synchronization points (paper footnote 3: "Ordering is enforced ...
+// using memory barriers"):
+//  * producer:  construct data, then rank.store(tail, release)
+//  * consumer:  rank.load(acquire); move data out; rank.store(-1, release)
+//  * producer free-check: rank.load(acquire) pairs with the consumer's
+//    release so the data slot is safely reusable.
+//  * head is fetch_add(relaxed): it is a pure ticket dispenser; all data
+//    synchronization goes through the cell fields.
+//
+// Library extension beyond the paper (DESIGN.md §5.6): `close()` lets
+// consumers parked on a never-to-be-produced rank return false instead of
+// spinning forever. The check sits only on the back-off path.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::core {
+
+namespace detail {
+
+/// Cell of the single-producer variants. 24 bytes for 8-byte payloads in
+/// the compact layout, one full line when cache-aligned — matching the
+/// sizes reported in §V-B.
+template <typename T>
+struct spmc_cell_fields {
+  std::atomic<std::int64_t> rank{-1};  ///< insertion number, -1 = free
+  std::atomic<std::int64_t> gap{-1};   ///< highest rank skipped at this cell
+  alignas(alignof(T)) unsigned char storage[sizeof(T)];
+
+  T* ptr() noexcept { return std::launder(reinterpret_cast<T*>(storage)); }
+};
+
+template <typename T, bool CacheAligned>
+struct spmc_cell : spmc_cell_fields<T> {};
+
+template <typename T>
+struct alignas(ffq::runtime::kCacheLineSize) spmc_cell<T, true>
+    : spmc_cell_fields<T> {};
+
+}  // namespace detail
+
+/// FFQ^s. `T` must be nothrow-move-constructible; `Layout` is one of the
+/// policies in layout.hpp. Capacity must be a power of two and must
+/// exceed the maximum number of in-flight items (the paper's implicit
+/// flow-control assumption) for enqueue to stay wait-free.
+template <typename T, typename Layout = layout_aligned>
+class spmc_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "cell publication cannot be rolled back after a throwing move");
+
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr const char* kName = "ffq-spmc";
+
+  explicit spmc_queue(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
+    assert(capacity_info::valid(capacity) && "capacity must be a power of two >= 2");
+  }
+
+  spmc_queue(const spmc_queue&) = delete;
+  spmc_queue& operator=(const spmc_queue&) = delete;
+
+  ~spmc_queue() {
+    // Destroy any items that were enqueued but never consumed.
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      auto& c = cells_[i];
+      if (c.rank.load(std::memory_order_relaxed) >= 0) {
+        std::destroy_at(c.ptr());
+      }
+    }
+  }
+
+  /// Enqueue one item (producer thread only). Wait-free while the queue
+  /// has free cells; skips occupied cells, announcing gaps.
+  void enqueue(T value) noexcept {
+    assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
+           "enqueue after close()");
+    std::int64_t t = tail_->load(std::memory_order_relaxed);
+    std::size_t consecutive_skips = 0;
+    ffq::runtime::yielding_backoff full_backoff;
+    for (;;) {
+      auto& c = cells_[cap_.template slot<Layout>(t)];
+      if (c.rank.load(std::memory_order_acquire) >= 0) {
+        if (consecutive_skips >= cap_.size()) {
+          // A whole sweep found no free cell: the paper's free-slot
+          // assumption is violated (queue full). Announcing further gaps
+          // would flood consumers with dead ranks they must fetch-add
+          // through one by one, so wait here for *this* cell to drain
+          // instead (footnote 2: "the producer would spin until a slot
+          // becomes available"). Wait-freedom is already forfeit in this
+          // regime.
+          full_backoff.pause();
+          continue;
+        }
+        // Cell still holds an unconsumed (or mid-dequeue) older item:
+        // announce the skipped rank and move to the next one (Alg. 1
+        // lines 13–14). The same cell may be skipped repeatedly; `gap`
+        // then carries the latest skipped rank, which is all consumers
+        // need ("gap ≥ rank").
+        c.gap.store(t, std::memory_order_release);
+        ++t;
+        ++gaps_created_;
+        ++consecutive_skips;
+        continue;
+      }
+      std::construct_at(c.ptr(), std::move(value));
+      c.rank.store(t, std::memory_order_release);  // linearization point
+      ++t;
+      break;
+    }
+    tail_->store(t, std::memory_order_release);
+  }
+
+  /// Dequeue one item (any number of consumer threads). Blocks (spinning
+  /// with back-off) while the queue is empty; returns false only after
+  /// close() once this consumer's rank is past the final tail.
+  bool dequeue(T& out) noexcept {
+    std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
+    ffq::runtime::yielding_backoff backoff;
+    for (;;) {
+      auto& c = cells_[cap_.template slot<Layout>(rank)];
+      for (;;) {
+        if (c.rank.load(std::memory_order_acquire) == rank) {
+          // Exactly one consumer can observe its own rank here (ranks are
+          // unique), so the cell is ours to read and recycle.
+          out = std::move(*c.ptr());
+          std::destroy_at(c.ptr());
+          c.rank.store(-1, std::memory_order_release);  // linearization point
+          return true;
+        }
+        // Skipped? gap must be read before the rank re-check: the
+        // producer may have *filled* the cell for our rank after our
+        // first look and then announced a gap for a later rank on a
+        // subsequent traversal (paper's line-29 discussion).
+        if (c.gap.load(std::memory_order_acquire) >= rank &&
+            c.rank.load(std::memory_order_acquire) != rank) {
+          skips_.fetch_add(1, std::memory_order_relaxed);
+          rank = head_->fetch_add(1, std::memory_order_relaxed);
+          backoff.reset();
+          break;  // rebind to the new rank's cell
+        }
+        // Producer still writing (or queue empty): back off briefly.
+        const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
+        if (closed >= 0 && rank >= closed) return false;  // drained
+        backoff.pause();
+      }
+    }
+  }
+
+  /// Mark the queue closed at the current tail. Consumers whose ranks lie
+  /// beyond the final tail return false from dequeue(); items already
+  /// enqueued are still drained. Must be called after the producer's last
+  /// enqueue has returned (producer thread itself may call it).
+  void close() noexcept {
+    closed_tail_.store(tail_->load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+
+  bool closed() const noexcept {
+    return closed_tail_.load(std::memory_order_acquire) >= 0;
+  }
+
+  std::size_t capacity() const noexcept { return cap_.size(); }
+
+  /// Racy size estimate (includes gap ranks); for monitoring only.
+  std::int64_t approx_size() const noexcept {
+    const auto t = tail_->load(std::memory_order_relaxed);
+    const auto h = head_->load(std::memory_order_relaxed);
+    return t > h ? t - h : 0;
+  }
+
+  /// Number of gap announcements the producer has made (producer-thread
+  /// accurate; other threads see a stale value).
+  std::uint64_t gaps_created() const noexcept { return gaps_created_; }
+
+  /// Number of times consumers abandoned a skipped rank.
+  std::uint64_t consumer_skips() const noexcept {
+    return skips_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using cell = detail::spmc_cell<T, Layout::kCacheAligned>;
+
+  capacity_info cap_;
+  ffq::runtime::aligned_array<cell> cells_;
+  // tail is logically producer-private (single-reader/single-writer in the
+  // paper); it is atomic only so close() can snapshot it.
+  ffq::runtime::padded<std::atomic<std::int64_t>> tail_{0};
+  ffq::runtime::padded<std::atomic<std::int64_t>> head_{0};
+  std::atomic<std::int64_t> closed_tail_{-1};
+  std::uint64_t gaps_created_ = 0;
+  std::atomic<std::uint64_t> skips_{0};
+};
+
+}  // namespace ffq::core

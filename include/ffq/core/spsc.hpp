@@ -1,0 +1,158 @@
+// spsc.hpp — FFQ SPSC specialization.
+//
+// "The SPSC variant of FFQ removes the need for an atomic increment
+// operation" (paper §V-G): with a single consumer, `head` becomes a
+// consumer-private counter — no fetch-and-increment, no shared head line.
+// Cells keep the (rank, gap) protocol because the producer can still wrap
+// around onto a cell whose item the consumer has not consumed yet (the
+// buffer-full edge), in which case it skips and announces a gap exactly
+// like the SPMC variant.
+//
+// Used by the application framework (paper §V-A) for the per-consumer
+// response queues, and by Fig. 3 (queue-size sweep) and Fig. 8 (SPSC
+// single-thread reference line).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "ffq/core/layout.hpp"
+#include "ffq/core/spmc.hpp"
+#include "ffq/runtime/aligned_buffer.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::core {
+
+template <typename T, typename Layout = layout_aligned>
+class spsc_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "cell publication cannot be rolled back after a throwing move");
+
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr const char* kName = "ffq-spsc";
+
+  explicit spsc_queue(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
+    assert(capacity_info::valid(capacity) && "capacity must be a power of two >= 2");
+  }
+
+  spsc_queue(const spsc_queue&) = delete;
+  spsc_queue& operator=(const spsc_queue&) = delete;
+
+  ~spsc_queue() {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      auto& c = cells_[i];
+      if (c.rank.load(std::memory_order_relaxed) >= 0) {
+        std::destroy_at(c.ptr());
+      }
+    }
+  }
+
+  /// Producer thread only. Identical protocol to spmc_queue::enqueue.
+  void enqueue(T value) noexcept {
+    assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
+           "enqueue after close()");
+    std::int64_t t = tail_->load(std::memory_order_relaxed);
+    std::size_t consecutive_skips = 0;
+    ffq::runtime::yielding_backoff full_backoff;
+    for (;;) {
+      auto& c = cells_[cap_.template slot<Layout>(t)];
+      if (c.rank.load(std::memory_order_acquire) >= 0) {
+        if (consecutive_skips >= cap_.size()) {
+          // Full ring (free-slot assumption violated): wait for this cell
+          // instead of flooding the consumer with gap ranks. See the
+          // matching comment in spmc_queue::enqueue.
+          full_backoff.pause();
+          continue;
+        }
+        c.gap.store(t, std::memory_order_release);
+        ++t;
+        ++gaps_created_;
+        ++consecutive_skips;
+        continue;
+      }
+      std::construct_at(c.ptr(), std::move(value));
+      c.rank.store(t, std::memory_order_release);
+      ++t;
+      break;
+    }
+    tail_->store(t, std::memory_order_release);
+  }
+
+  /// Consumer thread only. Non-blocking: false when no item is ready.
+  /// Safe because `head` is consumer-private — an abandoned poll consumes
+  /// no rank.
+  bool try_dequeue(T& out) noexcept {
+    std::int64_t h = (*head_);
+    for (;;) {
+      auto& c = cells_[cap_.template slot<Layout>(h)];
+      if (c.rank.load(std::memory_order_acquire) == h) {
+        out = std::move(*c.ptr());
+        std::destroy_at(c.ptr());
+        c.rank.store(-1, std::memory_order_release);
+        (*head_) = h + 1;
+        return true;
+      }
+      if (c.gap.load(std::memory_order_acquire) >= h &&
+          c.rank.load(std::memory_order_acquire) != h) {
+        ++h;  // our rank was skipped; advance past the gap
+        continue;
+      }
+      (*head_) = h;  // remember progress past consumed gaps
+      return false;
+    }
+  }
+
+  /// Consumer thread only. Blocking variant; returns false only after
+  /// close() once everything produced has been drained.
+  bool dequeue(T& out) noexcept {
+    ffq::runtime::yielding_backoff backoff;
+    for (;;) {
+      if (try_dequeue(out)) return true;
+      const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
+      if (closed >= 0 && (*head_) >= closed) return false;
+      backoff.pause();
+    }
+  }
+
+  /// See spmc_queue::close().
+  void close() noexcept {
+    closed_tail_.store(tail_->load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+
+  bool closed() const noexcept {
+    return closed_tail_.load(std::memory_order_acquire) >= 0;
+  }
+
+  std::size_t capacity() const noexcept { return cap_.size(); }
+
+  std::int64_t approx_size() const noexcept {
+    const auto t = tail_->load(std::memory_order_relaxed);
+    const auto h = (*head_);
+    return t > h ? t - h : 0;
+  }
+
+  std::uint64_t gaps_created() const noexcept { return gaps_created_; }
+
+ private:
+  using cell = detail::spmc_cell<T, Layout::kCacheAligned>;
+
+  capacity_info cap_;
+  ffq::runtime::aligned_array<cell> cells_;
+  ffq::runtime::padded<std::atomic<std::int64_t>> tail_{0};
+  // head is consumer-private: a plain counter on its own line (the whole
+  // point of the SPSC specialization).
+  ffq::runtime::padded<std::int64_t> head_{0};
+  std::atomic<std::int64_t> closed_tail_{-1};
+  std::uint64_t gaps_created_ = 0;
+};
+
+}  // namespace ffq::core

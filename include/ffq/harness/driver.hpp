@@ -1,0 +1,18 @@
+// driver.hpp — shared benchmark-driver utilities.
+#pragma once
+
+#include <cstdint>
+
+namespace ffq::harness {
+
+/// Measured mean cost (ns) of one think-time draw + calibrated spin for
+/// the given bounds. Benches print it so readers can judge how much of
+/// the per-op time is think time vs queue work.
+double measure_think_overhead_ns(std::uint64_t min_ns, std::uint64_t max_ns,
+                                 int samples = 20000);
+
+/// True when the environment looks too small for a given thread count
+/// (pure advisory; benches still run oversubscribed).
+bool oversubscribed(int threads);
+
+}  // namespace ffq::harness

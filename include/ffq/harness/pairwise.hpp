@@ -1,0 +1,117 @@
+// pairwise.hpp — the comparative benchmark of Yang & Mellor-Crummey [21],
+// as used in the paper's §V-G / Fig. 8.
+//
+// "All threads repeatedly execute pairs of enqueue and dequeue operations
+// on a single queue, for a total of 10^7 pairs partitioned evenly among
+// all threads. ... Between two operations, the benchmark adds an
+// arbitrary delay (between 50 and 150 ns) to avoid scenarios where a
+// cache line is held by one thread for a long time."
+//
+// Throughput is reported in operations/s (one op = one enqueue or one
+// dequeue, i.e. 2 × pairs / elapsed), matching [21]'s metric.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ffq/harness/adapters.hpp"
+#include "ffq/harness/stats.hpp"
+#include "ffq/runtime/affinity.hpp"
+#include "ffq/runtime/barrier.hpp"
+#include "ffq/runtime/rng.hpp"
+#include "ffq/runtime/timing.hpp"
+
+namespace ffq::harness {
+
+struct pairwise_config {
+  int threads = 1;
+  std::uint64_t total_pairs = 10'000'000;
+  std::uint64_t think_min_ns = 50;   ///< 0 disables think time
+  std::uint64_t think_max_ns = 150;
+  bench_params params{};
+  bool pin_threads = true;  ///< one thread per hardware thread, round-robin
+  std::uint64_t seed = 0x5eed;
+};
+
+/// One measured run. Returns operations per second.
+template <typename Adapter>
+double run_pairwise_once(const pairwise_config& cfg) {
+  using queue_t = typename Adapter::queue_type;
+  std::unique_ptr<queue_t> q(Adapter::create(cfg.params));
+
+  const std::uint64_t pairs_per_thread =
+      cfg.total_pairs / static_cast<std::uint64_t>(cfg.threads);
+  ffq::runtime::spin_barrier barrier(static_cast<std::size_t>(cfg.threads) + 1);
+  const auto topo = ffq::runtime::cpu_topology::discover();
+  const double ghz = ffq::runtime::tsc_ghz();
+
+  ffq::runtime::time_window_recorder window(
+      static_cast<std::size_t>(cfg.threads));
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (cfg.pin_threads && !topo.cpus().empty()) {
+        const auto& cpus = topo.cpus();
+        ffq::runtime::pin_self_to(
+            cpus[static_cast<std::size_t>(t) % cpus.size()].os_id);
+      }
+      auto ctx = Adapter::make_context(*q, t);
+      ffq::runtime::xoshiro256ss rng(cfg.seed + static_cast<std::uint64_t>(t));
+      const std::uint64_t think_span =
+          cfg.think_max_ns >= cfg.think_min_ns
+              ? cfg.think_max_ns - cfg.think_min_ns + 1
+              : 1;
+
+      barrier.arrive_and_wait();  // start line
+      window.mark_start(static_cast<std::size_t>(t));
+      std::uint64_t out;
+      for (std::uint64_t i = 0; i < pairs_per_thread; ++i) {
+        Adapter::enqueue(*q, ctx,
+                         (static_cast<std::uint64_t>(t) << 40) | (i + 1));
+        if (cfg.think_min_ns > 0) {
+          const double ns = static_cast<double>(cfg.think_min_ns +
+                                                rng.bounded(think_span));
+          ffq::runtime::spin_ns_tsc(
+              ffq::runtime::rdtsc() +
+              static_cast<std::uint64_t>(ns * ghz));
+        }
+        Adapter::dequeue(*q, ctx, out);
+        if (cfg.think_min_ns > 0) {
+          const double ns = static_cast<double>(cfg.think_min_ns +
+                                                rng.bounded(think_span));
+          ffq::runtime::spin_ns_tsc(
+              ffq::runtime::rdtsc() +
+              static_cast<std::uint64_t>(ns * ghz));
+        }
+      }
+      window.mark_end(static_cast<std::size_t>(t));
+      barrier.arrive_and_wait();  // finish line
+    });
+  }
+
+  barrier.arrive_and_wait();  // release the start line
+  barrier.arrive_and_wait();  // wait for all workers to finish
+  for (auto& w : workers) w.join();
+  const double secs = window.seconds();
+
+  const double ops = 2.0 * static_cast<double>(pairs_per_thread) *
+                     static_cast<double>(cfg.threads);
+  return ops / secs;
+}
+
+/// Repeat `runs` times and summarize (ops/s samples).
+template <typename Adapter>
+run_stats run_pairwise(const pairwise_config& cfg, int runs) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    pairwise_config c = cfg;
+    c.seed = cfg.seed + static_cast<std::uint64_t>(r) * 977;
+    samples.push_back(run_pairwise_once<Adapter>(c));
+  }
+  return summarize(samples);
+}
+
+}  // namespace ffq::harness

@@ -1,0 +1,48 @@
+// report.hpp — table and CSV output for the benchmark binaries.
+//
+// Every bench prints (a) a header block identifying the experiment and
+// environment, (b) an aligned text table mirroring the paper's figure
+// series, and (c) optionally a CSV file for replotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ffq::harness {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with right-aligned numeric columns and a separator line.
+  std::string str() const;
+
+  /// Write as CSV (header + rows). Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Standard experiment header: figure id, description, machine summary,
+/// and the caveats that apply in this environment.
+void print_experiment_header(const std::string& experiment_id,
+                             const std::string& description);
+
+/// Parse `--csv <path>`-style flags shared by all benches.
+struct bench_cli {
+  std::string csv_path;      ///< empty = no CSV
+  int runs = 10;             ///< repetitions per configuration
+  double scale = 1.0;        ///< workload scale factor (ops multiplier)
+  bool quick = false;        ///< --quick: 3 runs, 1/10 workload
+
+  static bench_cli parse(int argc, char** argv);
+};
+
+}  // namespace ffq::harness

@@ -1,0 +1,171 @@
+// spmc_bench.hpp — the paper's primary micro-benchmark (§V-A):
+//
+// "We use a micro-benchmark that simulates the SPMC asynchronous system
+// call interface. ... Producer threads have a state that consists of a
+// SPMC submission queue and an array with SPSC response queues for each
+// of the consumers assigned to the producer. Producer threads insert a
+// number of 64-bit integers into the submission queue and loop through
+// the response queues for dequeuing values. Consumers repeatedly retrieve
+// a value from the submission queue and enqueue a 64-bit integer into the
+// associated response queue."
+//
+// Used by the Fig. 2 (false sharing), Fig. 3 (queue size), Fig. 4–5
+// (cache behaviour) and Fig. 6 (affinity) experiments. The submission
+// queue type is a template parameter so Fig. 2 can run the MPMC variant
+// ("All experiments were conducted with the MPMC variant of FFQ") while
+// the affinity experiments use the SPMC/SPSC configurations.
+//
+// Flow control: the producer keeps at most `window` requests in flight —
+// the paper's "implicit flow control" that guarantees free cells.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ffq/core/ffq.hpp"
+#include "ffq/harness/stats.hpp"
+#include "ffq/runtime/affinity.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/barrier.hpp"
+#include "ffq/runtime/timing.hpp"
+
+namespace ffq::harness {
+
+struct spmc_bench_config {
+  std::size_t groups = 1;               ///< independent producers
+  std::size_t consumers_per_group = 1;
+  std::size_t submission_capacity = 1 << 16;
+  std::size_t response_capacity = 1 << 16;
+  std::uint64_t items_per_producer = 1'000'000;
+  ffq::runtime::placement_policy policy = ffq::runtime::placement_policy::none;
+};
+
+/// One measured run. `SubmissionQueue` must be an FFQ-family queue over
+/// uint64 (enqueue / blocking dequeue / close); responses always use the
+/// FFQ SPSC queue with the same layout. Returns round-trips per second
+/// aggregated over all groups (1 round-trip = 4 queue operations).
+template <typename SubmissionQueue, typename Layout>
+double run_spmc_bench_once(const spmc_bench_config& cfg) {
+  using response_queue = ffq::core::spsc_queue<std::uint64_t, Layout>;
+
+  struct group_state {
+    std::unique_ptr<SubmissionQueue> submission;
+    std::vector<std::unique_ptr<response_queue>> responses;
+  };
+
+  std::vector<group_state> groups(cfg.groups);
+  for (auto& g : groups) {
+    g.submission = std::make_unique<SubmissionQueue>(cfg.submission_capacity);
+    for (std::size_t c = 0; c < cfg.consumers_per_group; ++c) {
+      g.responses.push_back(
+          std::make_unique<response_queue>(cfg.response_capacity));
+    }
+  }
+
+  const auto topo = ffq::runtime::cpu_topology::discover();
+  const auto plan = ffq::runtime::plan_placement(topo, cfg.policy, cfg.groups);
+
+  const std::size_t total_threads =
+      cfg.groups * (1 + cfg.consumers_per_group);
+  ffq::runtime::spin_barrier barrier(total_threads + 1);
+  // Timing is recorded by the workers themselves (min start / max end):
+  // a coordinator-side stopwatch can start or stop arbitrarily late when
+  // the benchmark oversubscribes the machine and the coordinator is not
+  // scheduled during the run.
+  ffq::runtime::time_window_recorder window(total_threads);
+  std::size_t next_window_slot = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(total_threads);
+
+  // The in-flight window: small enough that neither the submission ring
+  // nor any single response ring can fill (implicit flow control).
+  const std::uint64_t inflight_window = static_cast<std::uint64_t>(
+      std::max<std::size_t>(
+          1, std::min(cfg.submission_capacity, cfg.response_capacity) / 2));
+
+  for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
+    // Consumers.
+    for (std::size_t ci = 0; ci < cfg.consumers_per_group; ++ci) {
+      const std::size_t slot = next_window_slot++;
+      threads.emplace_back([&, gi, ci, slot] {
+        if (!plan[gi].consumer_cpus.empty()) {
+          ffq::runtime::pin_self_to(plan[gi].consumer_cpus);
+        }
+        auto& sub = *groups[gi].submission;
+        auto& resp = *groups[gi].responses[ci];
+        barrier.arrive_and_wait();
+        window.mark_start(slot);
+        std::uint64_t v;
+        while (sub.dequeue(v)) {
+          resp.enqueue(v + 1);  // "enqueue a 64-bit integer" as the reply
+        }
+        window.mark_end(slot);
+        barrier.arrive_and_wait();
+      });
+    }
+    // Producer.
+    const std::size_t pslot = next_window_slot++;
+    threads.emplace_back([&, gi, pslot] {
+      if (!plan[gi].producer_cpus.empty()) {
+        ffq::runtime::pin_self_to(plan[gi].producer_cpus);
+      }
+      auto& g2 = groups[gi];
+      barrier.arrive_and_wait();
+      window.mark_start(pslot);
+      std::uint64_t submitted = 0, received = 0;
+      std::size_t rr = 0;  // round-robin cursor over response queues
+      std::uint64_t out;
+      ffq::runtime::yielding_backoff idle;
+      while (received < cfg.items_per_producer) {
+        bool progressed = false;
+        while (submitted < cfg.items_per_producer &&
+               submitted - received < inflight_window) {
+          g2.submission->enqueue(submitted + 1);
+          ++submitted;
+          progressed = true;
+        }
+        // "loop through the response queues for dequeuing values"
+        for (std::size_t i = 0; i < g2.responses.size(); ++i) {
+          while (g2.responses[rr]->try_dequeue(out)) {
+            ++received;
+            progressed = true;
+          }
+          rr = (rr + 1) % g2.responses.size();
+        }
+        if (progressed) {
+          idle.reset();
+        } else {
+          idle.pause();
+        }
+      }
+      g2.submission->close();  // consumers drain out
+      window.mark_end(pslot);
+      barrier.arrive_and_wait();
+    });
+  }
+
+  barrier.arrive_and_wait();  // start
+  barrier.arrive_and_wait();  // all threads done
+  for (auto& t : threads) t.join();
+  const double secs = window.seconds();
+
+  const double roundtrips =
+      static_cast<double>(cfg.items_per_producer) *
+      static_cast<double>(cfg.groups);
+  return roundtrips / secs;
+}
+
+template <typename SubmissionQueue, typename Layout>
+run_stats run_spmc_bench(const spmc_bench_config& cfg, int runs) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    samples.push_back(run_spmc_bench_once<SubmissionQueue, Layout>(cfg));
+  }
+  return summarize(samples);
+}
+
+}  // namespace ffq::harness

@@ -1,0 +1,31 @@
+// stats.hpp — summary statistics for repeated benchmark runs.
+//
+// "The reported results represent the average of 10 runs" (paper §V-A);
+// we additionally carry stddev/min/max so EXPERIMENTS.md can show run
+// stability on a noisy container.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ffq::harness {
+
+struct run_stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t runs = 0;
+};
+
+/// Summarize a set of per-run measurements (any unit).
+run_stats summarize(std::vector<double> samples);
+
+/// "12.34M" style human formatting for ops/s values.
+std::string human_rate(double ops_per_sec);
+
+/// Fixed-precision decimal as a string (no iostream noise at call sites).
+std::string fixed(double v, int decimals = 2);
+
+}  // namespace ffq::harness

@@ -1,0 +1,38 @@
+// checker.hpp — exhaustive interleaving exploration over a modelled
+// world.
+//
+// Phase 1 (safety): breadth-first enumeration of every reachable state
+// under every scheduling of thread steps. Safety violations (duplicate
+// consumption, uninitialized reads — recorded by world::record_consume)
+// stop the search immediately.
+//
+// Phase 2 (liveness): on the full reachable graph, every state must be
+// able to reach a terminal state (all threads done). A state from which
+// no completion is reachable means some schedule lost an item or wedged
+// the protocol — precisely the failure mode of the "lost update" /
+// "enqueue in the past" races of paper §III-B and the line-29 re-check
+// of §III-A.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ffq/model/world.hpp"
+
+namespace ffq::model {
+
+struct check_result {
+  bool ok = false;
+  std::string violation;        ///< empty when ok
+  std::size_t states = 0;       ///< distinct states explored
+  std::size_t transitions = 0;  ///< edges taken
+  std::size_t terminals = 0;    ///< completed-execution states
+  bool exhausted = true;        ///< false if max_states was hit
+};
+
+/// Explore every interleaving from `initial`. `max_states` bounds the
+/// search; hitting the bound reports exhausted=false (and skips the
+/// liveness phase, which would be unsound on a truncated graph).
+check_result check(const world& initial, std::size_t max_states = 2'000'000);
+
+}  // namespace ffq::model

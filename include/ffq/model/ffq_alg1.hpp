@@ -1,0 +1,227 @@
+// ffq_alg1.hpp — step-machine model of Algorithm 1 (FFQ^s).
+//
+// Every pc transition performs at most one shared-memory access, so the
+// checker's interleavings are exactly the architectural interleavings of
+// the pseudo-code (under SC; the implementation's acquire/release pairs
+// reconstruct SC for this communication pattern).
+//
+// Mutations (each reverts a detail the paper argues is necessary; tests
+// prove the checker flags the resulting bug):
+//   * consumer_mutation::skip_line29_recheck — drop the "cell.rank ≠
+//     rank" re-check after observing gap ≥ rank (§III-A: the producer
+//     might have inserted the expected element before announcing a later
+//     gap; skipping it loses the item).
+//   * producer_mutation::publish_before_data — swap lines 16/17: publish
+//     the rank before storing data ("the order of the two operations is
+//     important"); a consumer can then read uninitialized data.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ffq/model/world.hpp"
+
+namespace ffq::model {
+
+enum class producer_mutation { none, publish_before_data };
+enum class consumer_mutation { none, skip_line29_recheck };
+
+/// Single producer of Algorithm 1: enqueues values first..first+count-1.
+/// `tail` lives in world::tail_ but is producer-private (consumers never
+/// read it), so combining a cell store with the tail increment in one
+/// step does not hide any observable interleaving.
+class alg1_producer : public thread_m {
+ public:
+  alg1_producer(int first, int count, producer_mutation mut = producer_mutation::none)
+      : next_(first), last_(first + count - 1), mut_(mut) {}
+
+  bool done() const override { return pc_ == pc::finished; }
+
+  void step(world& w) override {
+    switch (pc_) {
+      case pc::load_rank: {
+        const int r = w.cells_[w.slot(w.tail_)].rank;  // one load
+        if (r >= 0) {
+          // Occupied. The shipped implementation (and this model — the
+          // verbatim pseudo-code would grow `tail` without bound while
+          // the ring is full, making the state space infinite) stops
+          // announcing gaps after one full fruitless sweep and waits for
+          // the current cell to drain.
+          pc_ = consec_gaps_ >= static_cast<int>(w.cells_.size())
+                    ? pc::load_rank  // spin in place (self-loop state)
+                    : pc::announce_gap;
+        } else {
+          consec_gaps_ = 0;
+          pc_ = pc::store_data;
+        }
+        break;
+      }
+      case pc::announce_gap: {
+        cell_m& c = w.cells_[w.slot(w.tail_)];
+        c.gap = w.tail_;  // one store (+ private tail bump)
+        w.tail_ += 1;
+        ++consec_gaps_;
+        pc_ = pc::load_rank;
+        break;
+      }
+      case pc::store_data: {
+        if (mut_ == producer_mutation::publish_before_data) {
+          // MUTATION: publish first (wrong), write data after.
+          w.cells_[w.slot(w.tail_)].rank = w.tail_;
+          pc_ = pc::store_data_late;
+        } else {
+          w.cells_[w.slot(w.tail_)].data = next_;  // one store
+          pc_ = pc::publish;
+        }
+        break;
+      }
+      case pc::store_data_late: {
+        w.cells_[w.slot(w.tail_)].data = next_;
+        w.tail_ += 1;
+        advance_item();
+        break;
+      }
+      case pc::publish: {
+        w.cells_[w.slot(w.tail_)].rank = w.tail_;  // linearization store
+        w.tail_ += 1;
+        advance_item();
+        break;
+      }
+      case pc::finished:
+        break;
+    }
+  }
+
+  void encode(std::vector<int>& out) const override {
+    out.push_back(static_cast<int>(pc_));
+    out.push_back(next_);
+    out.push_back(consec_gaps_);
+  }
+
+  std::unique_ptr<thread_m> clone() const override {
+    return std::make_unique<alg1_producer>(*this);
+  }
+
+ private:
+  enum class pc { load_rank, announce_gap, store_data, store_data_late, publish, finished };
+
+  void advance_item() {
+    if (next_ == last_) {
+      pc_ = pc::finished;
+    } else {
+      ++next_;
+      pc_ = pc::load_rank;
+    }
+  }
+
+  pc pc_ = pc::load_rank;
+  int next_;
+  int last_;
+  int consec_gaps_ = 0;
+  producer_mutation mut_;
+};
+
+/// Consumer of Algorithm 1 with a fixed dequeue quota.
+class alg1_consumer : public thread_m {
+ public:
+  explicit alg1_consumer(int quota, consumer_mutation mut = consumer_mutation::none)
+      : quota_(quota), mut_(mut) {}
+
+  bool done() const override { return pc_ == pc::finished; }
+
+  void step(world& w) override {
+    switch (pc_) {
+      case pc::faa_head: {
+        rank_ = w.head_;  // fetch-and-increment: one RMW
+        w.head_ += 1;
+        pc_ = pc::check_rank;
+        break;
+      }
+      case pc::check_rank: {
+        const int r = w.cells_[w.slot(rank_)].rank;  // one load
+        pc_ = r == rank_ ? pc::read_data : pc::check_gap;
+        break;
+      }
+      case pc::read_data: {
+        val_ = w.cells_[w.slot(rank_)].data;  // one load
+        pc_ = pc::release_cell;
+        break;
+      }
+      case pc::release_cell: {
+        w.cells_[w.slot(rank_)].rank = -1;  // linearization store
+        w.record_consume(val_);
+        // Per-producer FIFO monitor: a consumer's successive values from
+        // one producer must increase (ranks are drawn in order).
+        const int p = w.producer_of(val_);
+        if (p >= 0) {
+          if (static_cast<std::size_t>(p) >= last_from_.size()) {
+            last_from_.resize(static_cast<std::size_t>(p) + 1, 0);
+          }
+          if (val_ <= last_from_[static_cast<std::size_t>(p)]) {
+            w.violation_ = "per-producer FIFO violated: saw " +
+                           std::to_string(val_) + " after " +
+                           std::to_string(last_from_[static_cast<std::size_t>(p)]);
+          }
+          last_from_[static_cast<std::size_t>(p)] = val_;
+        }
+        ++taken_;
+        pc_ = taken_ == quota_ ? pc::finished : pc::faa_head;
+        break;
+      }
+      case pc::check_gap: {
+        const int g = w.cells_[w.slot(rank_)].gap;  // one load
+        if (g >= rank_) {
+          pc_ = mut_ == consumer_mutation::skip_line29_recheck
+                    ? pc::faa_head  // MUTATION: no rank re-check
+                    : pc::recheck_rank;
+        } else {
+          pc_ = pc::check_rank;  // back off and re-examine (spin)
+        }
+        break;
+      }
+      case pc::recheck_rank: {
+        const int r = w.cells_[w.slot(rank_)].rank;  // one load
+        // gap >= rank AND rank != rank  => the rank was truly skipped.
+        pc_ = r != rank_ ? pc::faa_head : pc::check_rank;
+        break;
+      }
+      case pc::finished:
+        break;
+    }
+  }
+
+  void encode(std::vector<int>& out) const override {
+    out.push_back(static_cast<int>(pc_));
+    out.push_back(rank_);
+    out.push_back(val_);
+    out.push_back(taken_);
+    for (int v : last_from_) out.push_back(v);
+  }
+
+  std::unique_ptr<thread_m> clone() const override {
+    return std::make_unique<alg1_consumer>(*this);
+  }
+
+  int taken() const { return taken_; }
+
+ private:
+  enum class pc {
+    faa_head,
+    check_rank,
+    read_data,
+    release_cell,
+    check_gap,
+    recheck_rank,
+    finished
+  };
+
+  pc pc_ = pc::faa_head;
+  int rank_ = -1;
+  int val_ = 0;
+  int taken_ = 0;
+  int quota_;
+  consumer_mutation mut_;
+  std::vector<int> last_from_;  ///< FIFO monitor: last value per producer
+};
+
+}  // namespace ffq::model

@@ -1,0 +1,149 @@
+// world.hpp — state-machine model of FFQ executions for exhaustive
+// interleaving checking.
+//
+// The real queues run on hardware atomics and cannot be stepped
+// deterministically; this module models Algorithms 1 and 2 as explicit
+// state machines in which every shared-memory action (one load, one
+// store, one fetch-and-add, one double-word CAS) is a single atomic
+// *step*. The checker (checker.hpp) then explores every interleaving of
+// those steps for small configurations and validates:
+//   * exactly-once delivery (no lost, duplicated, or uninitialized item),
+//   * per-consumer FIFO order,
+//   * absence of deadlock (some thread can always change the state).
+//
+// Because the model follows the paper's pseudo-code line by line, the
+// checker doubles as a machine-checked argument for the subtle details
+// the paper calls out — each has a "mutation" switch that disables it,
+// and tests assert the checker then finds a violation (see
+// ffq_alg1.hpp / ffq_alg2.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ffq::model {
+
+/// A modelled queue cell. Values mirror the implementation: rank -1 =
+/// free, -2 = reserved by an MPMC producer; data 0 = never written.
+struct cell_m {
+  int rank = -1;
+  int gap = -1;
+  int data = 0;
+};
+
+class world;
+
+/// One modelled thread: a program counter plus local registers. step()
+/// performs exactly one shared-memory action (or a purely local
+/// transition) and returns.
+class thread_m {
+ public:
+  virtual ~thread_m() = default;
+
+  virtual bool done() const = 0;
+
+  /// Perform one atomic step against the shared state.
+  virtual void step(world& w) = 0;
+
+  /// Append this thread's full local state to the encoding.
+  virtual void encode(std::vector<int>& out) const = 0;
+
+  virtual std::unique_ptr<thread_m> clone() const = 0;
+};
+
+/// The shared state plus all threads: one node of the execution graph.
+class world {
+ public:
+  world(std::size_t cells, int num_values)
+      : cells_(cells),
+        consumed_count_(static_cast<std::size_t>(num_values) + 1, 0) {}
+
+  world(const world& o)
+      : cells_(o.cells_),
+        head_(o.head_),
+        tail_(o.tail_),
+        producer_ranges_(o.producer_ranges_),
+        consumed_count_(o.consumed_count_),
+        violation_(o.violation_) {
+    threads_.reserve(o.threads_.size());
+    for (const auto& t : o.threads_) threads_.push_back(t->clone());
+  }
+
+  world& operator=(const world&) = delete;
+
+  // --- shared memory ----------------------------------------------------
+  std::vector<cell_m> cells_;
+  int head_ = 0;
+  int tail_ = 0;  ///< shared in the MPMC model; producer-owned in SPMC
+
+  std::size_t slot(int rank) const {
+    return static_cast<std::size_t>(rank) % cells_.size();
+  }
+
+  // --- threads ------------------------------------------------------------
+  std::vector<std::unique_ptr<thread_m>> threads_;
+
+  bool all_done() const {
+    for (const auto& t : threads_) {
+      if (!t->done()) return false;
+    }
+    return true;
+  }
+
+  /// Inclusive value intervals per producer, for the per-producer FIFO
+  /// monitor (values within one producer's interval must be consumed in
+  /// increasing order by any single consumer).
+  std::vector<std::pair<int, int>> producer_ranges_;
+
+  int producer_of(int value) const {
+    for (std::size_t p = 0; p < producer_ranges_.size(); ++p) {
+      if (value >= producer_ranges_[p].first && value <= producer_ranges_[p].second) {
+        return static_cast<int>(p);
+      }
+    }
+    return -1;
+  }
+
+  // --- incremental invariants ----------------------------------------------
+  // Monitors (consumed_count_, violation_) are deliberately NOT part of
+  // encode(): they are functions of the execution history, not of future
+  // behaviour, and including them multiplies equivalent states. A
+  // violation aborts the search on the edge where it occurs, before the
+  // state would be interned.
+
+  /// Record a consumed value; flags duplicates and uninitialized reads.
+  void record_consume(int value) {
+    if (value <= 0 || value >= static_cast<int>(consumed_count_.size())) {
+      violation_ = "consumed uninitialized or out-of-range value " +
+                   std::to_string(value);
+      return;
+    }
+    if (++consumed_count_[static_cast<std::size_t>(value)] > 1) {
+      violation_ = "value " + std::to_string(value) + " consumed twice";
+    }
+  }
+
+  std::vector<int> consumed_count_;
+  std::string violation_;  ///< empty = no safety violation so far
+
+  /// Canonical encoding of the full state (shared memory + every
+  /// thread's local state) for the visited set.
+  std::string encode() const {
+    std::vector<int> v;
+    v.reserve(cells_.size() * 3 + 8 + threads_.size() * 8);
+    for (const auto& c : cells_) {
+      v.push_back(c.rank);
+      v.push_back(c.gap);
+      v.push_back(c.data);
+    }
+    v.push_back(head_);
+    v.push_back(tail_);
+    for (const auto& t : threads_) t->encode(v);
+    return std::string(reinterpret_cast<const char*>(v.data()),
+                       v.size() * sizeof(int));
+  }
+};
+
+}  // namespace ffq::model

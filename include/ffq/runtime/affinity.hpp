@@ -1,0 +1,59 @@
+// affinity.hpp — thread pinning and the paper's four placement policies.
+//
+// §IV-B: "We support in our implementation four different strategies for
+// thread placement": same hardware thread, sibling hardware threads of one
+// core, different cores, and no affinity (OS scheduler). A placement plan
+// assigns a CPU set to every producer and consumer of a benchmark
+// configuration; `pin_self` applies one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ffq/runtime/topology.hpp"
+
+namespace ffq::runtime {
+
+/// Placement policies evaluated in Figs. 4–6.
+enum class placement_policy {
+  same_ht,     ///< producer and consumers share one hardware thread
+  sibling_ht,  ///< producer on HT0 of a core, consumers on HT1 of that core
+  other_core,  ///< producer and consumers on distinct cores
+  none,        ///< leave scheduling to the OS
+};
+
+const char* to_string(placement_policy p) noexcept;
+std::optional<placement_policy> placement_from_string(const std::string& s);
+
+/// Pin the calling thread to a single CPU. Returns false (and leaves the
+/// affinity unchanged) when the cpu is not allowed in this environment.
+bool pin_self_to(int os_cpu_id) noexcept;
+
+/// Pin the calling thread to a set of CPUs.
+bool pin_self_to(const std::vector<int>& os_cpu_ids) noexcept;
+
+/// Remove any affinity restriction (all online CPUs allowed).
+bool unpin_self() noexcept;
+
+/// The CPUs the calling thread is currently allowed to run on.
+std::vector<int> current_affinity();
+
+/// The CPU assignment for one producer/consumer group.
+struct group_placement {
+  std::vector<int> producer_cpus;  ///< empty = unpinned
+  std::vector<int> consumer_cpus;  ///< empty = unpinned (shared by all consumers)
+};
+
+/// Compute placements for `groups` producer groups under `policy`.
+///
+/// Group g gets core (g mod #cores): with more groups than cores the plan
+/// oversubscribes round-robin, exactly like the paper's Skylake runs with
+/// up to 2 threads per hardware thread. For `other_core`, consumers go to
+/// core (g + groups) mod #cores when enough cores exist, else to the next
+/// core.
+std::vector<group_placement> plan_placement(const cpu_topology& topo,
+                                            placement_policy policy,
+                                            std::size_t groups);
+
+}  // namespace ffq::runtime

@@ -1,0 +1,120 @@
+// aligned_buffer.hpp — RAII over-aligned uninitialized storage.
+//
+// Queue cell arrays need (a) alignment to a cache-line (or stronger)
+// boundary so the "dedicated cache lines" layout actually starts on a line
+// boundary, and (b) explicit lifetime control, because cells contain
+// atomics we construct in place. std::vector gives neither.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::runtime {
+
+/// Uninitialized aligned byte storage. Objects are created by the caller
+/// via construct_at / placement new and destroyed by the caller.
+class aligned_storage_buffer {
+ public:
+  aligned_storage_buffer() = default;
+
+  aligned_storage_buffer(std::size_t bytes, std::size_t alignment)
+      : bytes_(bytes) {
+    if (alignment < alignof(std::max_align_t)) alignment = alignof(std::max_align_t);
+    // aligned_alloc requires size to be a multiple of alignment.
+    const std::size_t padded_size = (bytes + alignment - 1) / alignment * alignment;
+    ptr_ = std::aligned_alloc(alignment, padded_size);
+    if (ptr_ == nullptr) throw std::bad_alloc();
+  }
+
+  aligned_storage_buffer(aligned_storage_buffer&& o) noexcept
+      : ptr_(std::exchange(o.ptr_, nullptr)), bytes_(std::exchange(o.bytes_, 0)) {}
+
+  aligned_storage_buffer& operator=(aligned_storage_buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      ptr_ = std::exchange(o.ptr_, nullptr);
+      bytes_ = std::exchange(o.bytes_, 0);
+    }
+    return *this;
+  }
+
+  aligned_storage_buffer(const aligned_storage_buffer&) = delete;
+  aligned_storage_buffer& operator=(const aligned_storage_buffer&) = delete;
+
+  ~aligned_storage_buffer() { release(); }
+
+  void* data() noexcept { return ptr_; }
+  const void* data() const noexcept { return ptr_; }
+  std::size_t size_bytes() const noexcept { return bytes_; }
+  explicit operator bool() const noexcept { return ptr_ != nullptr; }
+
+ private:
+  void release() noexcept {
+    std::free(ptr_);
+    ptr_ = nullptr;
+  }
+
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// A cache-line-aligned array of default-constructed T with RAII lifetime.
+/// T need not be copyable or movable (atomics welcome).
+template <typename T>
+class aligned_array {
+ public:
+  aligned_array() = default;
+
+  explicit aligned_array(std::size_t count, std::size_t alignment = kCacheLineSize)
+      : storage_(count * sizeof(T), alignment), count_(count) {
+    T* p = static_cast<T*>(storage_.data());
+    std::size_t constructed = 0;
+    try {
+      for (; constructed < count_; ++constructed) std::construct_at(p + constructed);
+    } catch (...) {
+      while (constructed-- > 0) std::destroy_at(p + constructed);
+      throw;
+    }
+  }
+
+  aligned_array(aligned_array&&) noexcept = default;
+  aligned_array& operator=(aligned_array&& o) noexcept {
+    if (this != &o) {
+      destroy_all();
+      storage_ = std::move(o.storage_);
+      count_ = std::exchange(o.count_, 0);
+    }
+    return *this;
+  }
+
+  ~aligned_array() { destroy_all(); }
+
+  T* data() noexcept { return static_cast<T*>(storage_.data()); }
+  const T* data() const noexcept { return static_cast<const T*>(storage_.data()); }
+  std::size_t size() const noexcept { return count_; }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + count_; }
+
+ private:
+  void destroy_all() noexcept {
+    if (!storage_) return;
+    T* p = data();
+    for (std::size_t i = count_; i-- > 0;) std::destroy_at(p + i);
+    count_ = 0;
+  }
+
+  aligned_storage_buffer storage_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ffq::runtime

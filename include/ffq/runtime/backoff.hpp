@@ -1,0 +1,108 @@
+// backoff.hpp — CPU-relax and bounded exponential back-off.
+//
+// FFQ's dequeue (Algorithm 1, line 32) "backs off" while the producer is
+// still writing a cell. The paper's C artifact uses a pause-loop; we expose
+// the same primitive plus an exponential variant used by the baselines
+// (MS-queue CAS retry loops, LCRQ ring contention, ...).
+#pragma once
+
+#include <cstdint>
+
+#include <sched.h>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ffq::runtime {
+
+/// One architectural relax hint. On x86 this is `pause` (~35 cycles on
+/// Skylake), which de-pipelines the spin loop and yields execution
+/// resources to the sibling hardware thread — exactly the situation the
+/// paper's "sibling HT" affinity policy creates.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Spin for `n` relax hints.
+inline void relax_for(std::uint32_t n) noexcept {
+  for (std::uint32_t i = 0; i < n; ++i) cpu_relax();
+}
+
+/// Bounded exponential back-off: 1, 2, 4, ... up to `kMaxSpins` relax
+/// hints per call. Reset on success.
+class exp_backoff {
+ public:
+  static constexpr std::uint32_t kMinSpins = 1;
+  static constexpr std::uint32_t kMaxSpins = 1024;
+
+  /// Spin once at the current level and double the level.
+  void pause() noexcept {
+    relax_for(cur_);
+    cur_ = cur_ < kMaxSpins ? cur_ * 2 : kMaxSpins;
+  }
+
+  /// Back to the minimum level (call after the contended operation
+  /// succeeds).
+  void reset() noexcept { cur_ = kMinSpins; }
+
+  std::uint32_t level() const noexcept { return cur_; }
+
+ private:
+  std::uint32_t cur_ = kMinSpins;
+};
+
+/// Fixed-interval back-off matching the paper's dequeue wait: a short,
+/// constant pause (the cited "few nanoseconds"). Constant rather than
+/// exponential because the expected wait — the producer finishing two plain
+/// stores — is tiny and bounded.
+class const_backoff {
+ public:
+  explicit const_backoff(std::uint32_t spins = 4) noexcept : spins_(spins) {}
+  void pause() const noexcept { relax_for(spins_); }
+
+ private:
+  std::uint32_t spins_;
+};
+
+/// Spin-then-yield back-off for potentially long waits. The paper's
+/// testbeds dedicate a hardware thread per benchmark thread, so pure
+/// spinning is fine there (its artifact waits "a few nanoseconds"); on
+/// oversubscribed machines a spinning waiter can occupy the core the
+/// thread it waits for needs.
+///
+/// Phase 1 — kSpinRounds short constant pauses (~a few ns each): keeps
+/// the reaction latency of a hot wait in the sub-microsecond range,
+/// which matters for ping-pong patterns (exponential pauses here would
+/// add tens of microseconds to every queue round trip).
+/// Phase 2 — sched_yield per pause: stops burning a core once the wait
+/// has clearly outlived the "partner is one store away" case.
+class yielding_backoff {
+ public:
+  static constexpr std::uint32_t kSpinRounds = 512;
+  static constexpr std::uint32_t kSpinsPerRound = 4;
+
+  void pause() noexcept {
+    if (rounds_ < kSpinRounds) {
+      relax_for(kSpinsPerRound);
+      ++rounds_;
+    } else {
+      yield_now();
+    }
+  }
+
+  void reset() noexcept { rounds_ = 0; }
+
+ private:
+  static void yield_now() noexcept { sched_yield(); }
+
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace ffq::runtime

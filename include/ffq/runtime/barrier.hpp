@@ -1,0 +1,61 @@
+// barrier.hpp — generation-counting spin barrier.
+//
+// Benchmark threads must start their measured loops simultaneously;
+// std::barrier parks threads in the kernel, which adds milliseconds of
+// wake-up skew — unacceptable when a whole run lasts tens of milliseconds.
+// A spin barrier releases all waiters within a few hundred cycles.
+//
+// Design note: this uses a generation counter rather than the classic
+// sense-reversing flag. A global-sense barrier is broken for immediate
+// re-entry without per-thread state: a thread arriving at generation g+1
+// before generation g's last arrival flips the flag computes the *same*
+// target sense as generation g and falls through the moment g completes.
+// With a generation counter, the count reset happens-before the counter
+// bump (program order in the releasing thread), so a thread that
+// observed the bump and re-enters always decrements a fresh count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::runtime {
+
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  spin_barrier(const spin_barrier&) = delete;
+  spin_barrier& operator=(const spin_barrier&) = delete;
+
+  /// Blocks until all parties have arrived. Reusable; immediate re-entry
+  /// is safe (see design note above).
+  void arrive_and_wait() noexcept {
+    const std::uint64_t gen = generation_->load(std::memory_order_acquire);
+    if (remaining_->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reset the count for the next generation *before*
+      // releasing this one.
+      remaining_->store(parties_, std::memory_order_relaxed);
+      generation_->fetch_add(1, std::memory_order_release);
+    } else {
+      // Spin briefly, then yield: a barrier waiter that burns a core for
+      // a whole benchmark run (e.g. the coordinator waiting on the finish
+      // line) starves the measured threads on small machines.
+      yielding_backoff bo;
+      while (generation_->load(std::memory_order_acquire) == gen) bo.pause();
+    }
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  padded<std::atomic<std::size_t>> remaining_;
+  padded<std::atomic<std::uint64_t>> generation_{0};
+};
+
+}  // namespace ffq::runtime

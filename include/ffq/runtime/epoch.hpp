@@ -1,0 +1,171 @@
+// epoch.hpp — epoch-based reclamation (EBR, Fraser 2004).
+//
+// The second classic safe-memory-reclamation scheme, next to hazard
+// pointers (hazard.hpp). Readers pin the global epoch for the duration
+// of a critical region instead of publishing per-pointer hazards:
+// reads get cheaper (no store/fence per pointer), reclamation gets
+// coarser (a single stalled reader blocks all reclamation — the
+// trade-off the bench_reclamation ablation measures on the MS queue).
+//
+// Classic 3-epoch scheme: an object retired in epoch e is free once the
+// global epoch reaches e+2, because every reader active at e has since
+// gone quiescent (the epoch can only advance when no reader still pins
+// an older epoch).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::runtime {
+
+class epoch_domain {
+ public:
+  static constexpr std::size_t kMaxThreads = 128;
+  static constexpr std::uint64_t kQuiescent = ~0ULL;
+  static constexpr std::size_t kRetireThreshold = 64;
+
+  epoch_domain() = default;
+  epoch_domain(const epoch_domain&) = delete;
+  epoch_domain& operator=(const epoch_domain&) = delete;
+
+  ~epoch_domain() {
+    for (auto& rec : records_) {
+      for (auto& r : rec.retired) r.deleter(r.ptr);
+      rec.retired.clear();
+    }
+  }
+
+  static epoch_domain& global() {
+    static epoch_domain d;
+    return d;
+  }
+
+  class thread_record {
+   public:
+    /// Enter a read-side critical region.
+    void pin() noexcept {
+      // seq_cst store so the epoch-advance scan cannot miss us.
+      local_.value.store(owner_->epoch_.value.load(std::memory_order_seq_cst),
+                         std::memory_order_seq_cst);
+    }
+
+    /// Leave the critical region.
+    void unpin() noexcept {
+      local_.value.store(epoch_domain::kQuiescent, std::memory_order_release);
+    }
+
+    template <typename T>
+    void retire(T* p) {
+      retire_raw(p, [](void* q) { delete static_cast<T*>(q); });
+    }
+
+    void retire_raw(void* p, void (*deleter)(void*)) {
+      retired.push_back(
+          {p, deleter, owner_->epoch_.value.load(std::memory_order_acquire)});
+      if (retired.size() >= epoch_domain::kRetireThreshold) {
+        owner_->try_advance();
+        reclaim_old();
+      }
+    }
+
+    /// Free everything whose retire epoch is two behind the global one.
+    void reclaim_old() {
+      const std::uint64_t e =
+          owner_->epoch_.value.load(std::memory_order_acquire);
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < retired.size(); ++i) {
+        if (retired[i].epoch + 2 <= e) {
+          retired[i].deleter(retired[i].ptr);
+        } else {
+          retired[keep++] = retired[i];
+        }
+      }
+      retired.resize(keep);
+    }
+
+   private:
+    friend class epoch_domain;
+
+    struct retired_ptr {
+      void* ptr;
+      void (*deleter)(void*);
+      std::uint64_t epoch;
+    };
+
+    padded<std::atomic<std::uint64_t>> local_{epoch_domain::kQuiescent};
+    std::atomic<bool> in_use{false};
+    std::vector<retired_ptr> retired;
+    epoch_domain* owner_ = nullptr;
+  };
+
+  /// Attach the calling thread (same recycling protocol as the hazard
+  /// domain). Cache the result per thread.
+  thread_record& attach() {
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      bool expected = false;
+      if (records_[i].in_use.compare_exchange_strong(expected, true,
+                                                     std::memory_order_acq_rel)) {
+        records_[i].owner_ = this;
+        return records_[i];
+      }
+    }
+    for (;;) {
+      std::size_t i = hwm_.load(std::memory_order_acquire);
+      if (i >= kMaxThreads) continue;  // effectively unreachable
+      if (hwm_.compare_exchange_weak(i, i + 1, std::memory_order_acq_rel)) {
+        bool expected = false;
+        if (records_[i].in_use.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          records_[i].owner_ = this;
+          return records_[i];
+        }
+      }
+    }
+  }
+
+  void release(thread_record& rec) {
+    rec.local_.value.store(kQuiescent, std::memory_order_release);
+    rec.in_use.store(false, std::memory_order_release);
+  }
+
+  /// Advance the global epoch if every pinned thread has caught up.
+  /// Returns true on advance.
+  bool try_advance() noexcept {
+    const std::uint64_t e = epoch_.value.load(std::memory_order_seq_cst);
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t l =
+          records_[i].local_.value.load(std::memory_order_seq_cst);
+      if (l != kQuiescent && l < e) return false;  // straggler
+    }
+    std::uint64_t expected = e;
+    return epoch_.value.compare_exchange_strong(expected, e + 1,
+                                                std::memory_order_seq_cst);
+  }
+
+  std::uint64_t current_epoch() const noexcept {
+    return epoch_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  padded<std::atomic<std::uint64_t>> epoch_{0};
+  thread_record records_[kMaxThreads];
+  std::atomic<std::size_t> hwm_{0};
+};
+
+/// Cached per-thread attachment to the global epoch domain.
+inline epoch_domain::thread_record& tls_global_epoch() {
+  struct holder {
+    epoch_domain::thread_record* rec;
+    holder() : rec(&epoch_domain::global().attach()) {}
+    ~holder() { epoch_domain::global().release(*rec); }
+  };
+  thread_local holder h;
+  return *h.rec;
+}
+
+}  // namespace ffq::runtime

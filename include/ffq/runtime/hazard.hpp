@@ -1,0 +1,236 @@
+// hazard.hpp — hazard-pointer safe memory reclamation (Michael, 2004).
+//
+// The unbounded baseline queues (MS-queue, LCRQ) pop nodes that other
+// threads may still be traversing; freeing them immediately would be a
+// use-after-free, and never freeing them would be a leak that distorts the
+// cache behaviour the benchmarks measure. Hazard pointers give bounded
+// memory overhead with lock-free progress — matching the progress
+// guarantees of the queues built on top.
+//
+// Design: a `hazard_domain` owns a fixed pool of per-thread records, each
+// with K hazard slots and a private retire list. Threads attach lazily
+// (first use) and release their record on thread exit so records are
+// recycled. Scanning is O(#records * K) and amortized over
+// kRetireThreshold retirements.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ffq/runtime/cacheline.hpp"
+
+namespace ffq::runtime {
+
+class hazard_domain {
+ public:
+  static constexpr std::size_t kMaxThreads = 128;
+  static constexpr std::size_t kSlotsPerThread = 4;
+  static constexpr std::size_t kRetireThreshold = 64;
+
+  hazard_domain() = default;
+  hazard_domain(const hazard_domain&) = delete;
+  hazard_domain& operator=(const hazard_domain&) = delete;
+
+  ~hazard_domain() {
+    // At destruction no user threads may still operate on protected
+    // structures; drain every retire list unconditionally.
+    for (auto& rec : records_) {
+      for (auto& r : rec.retired) r.deleter(r.ptr);
+      rec.retired.clear();
+    }
+  }
+
+  /// Process-wide default domain (one per program is almost always right;
+  /// separate domains only pay off when retire lists must not mix).
+  static hazard_domain& global() {
+    static hazard_domain d;
+    return d;
+  }
+
+  class thread_record;
+
+  /// Attach the calling thread (idempotent per domain). Returns the
+  /// thread's record; cached by the caller via thread_local.
+  thread_record& attach();
+
+  class thread_record {
+   public:
+    /// Publish `p` in hazard slot `slot`. Release ordering so the scan's
+    /// acquire load observes it before any subsequent traversal.
+    void set(std::size_t slot, const void* p) noexcept {
+      slots_[slot].value.store(p, std::memory_order_seq_cst);
+    }
+
+    void clear(std::size_t slot) noexcept {
+      slots_[slot].value.store(nullptr, std::memory_order_release);
+    }
+
+    void clear_all() noexcept {
+      for (auto& s : slots_) s.value.store(nullptr, std::memory_order_release);
+    }
+
+    /// Protect the pointee of `src`: loop (load, publish, re-validate)
+    /// until the published value is still current. Standard Michael
+    /// protocol; the seq_cst store in set() orders against the reclaimer's
+    /// scan.
+    template <typename T>
+    T* protect(std::size_t slot, const std::atomic<T*>& src) noexcept {
+      T* p = src.load(std::memory_order_acquire);
+      for (;;) {
+        set(slot, p);
+        T* q = src.load(std::memory_order_acquire);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    /// Retire `p`; it is deleted once no thread holds it in a hazard slot.
+    template <typename T>
+    void retire(T* p) {
+      retire_raw(p, [](void* q) { delete static_cast<T*>(q); });
+    }
+
+    void retire_raw(void* p, void (*deleter)(void*)) {
+      retired.push_back({p, deleter});
+      if (retired.size() >= hazard_domain::kRetireThreshold) owner_->scan(*this);
+    }
+
+   private:
+    friend class hazard_domain;
+    friend class hazard_thread;
+
+    struct retired_ptr {
+      void* ptr;
+      void (*deleter)(void*);
+    };
+
+    padded<std::atomic<const void*>> slots_[hazard_domain::kSlotsPerThread];
+    std::atomic<bool> in_use{false};
+    std::vector<retired_ptr> retired;
+    hazard_domain* owner_ = nullptr;
+  };
+
+  /// Force-reclaim everything that is currently unprotected, across the
+  /// calling thread's retire list. Mostly for tests and shutdown paths.
+  void flush(thread_record& rec) { scan(rec); }
+
+  std::size_t attached_upper_bound() const noexcept {
+    return hwm_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void scan(thread_record& rec) {
+    // Snapshot all published hazards.
+    std::vector<const void*> hazards;
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    hazards.reserve(n * kSlotsPerThread);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& s : records_[i].slots_) {
+        if (const void* p = s.value.load(std::memory_order_acquire)) {
+          hazards.push_back(p);
+        }
+      }
+    }
+    // Partition the retire list; delete the safe part.
+    std::vector<thread_record::retired_ptr> still;
+    still.reserve(rec.retired.size());
+    for (const auto& r : rec.retired) {
+      bool hazardous = false;
+      for (const void* h : hazards) {
+        if (h == r.ptr) {
+          hazardous = true;
+          break;
+        }
+      }
+      if (hazardous) {
+        still.push_back(r);
+      } else {
+        r.deleter(r.ptr);
+      }
+    }
+    rec.retired.swap(still);
+  }
+
+  thread_record records_[kMaxThreads];
+  std::atomic<std::size_t> hwm_{0};  // high-water mark of ever-used records
+
+  friend class thread_record;
+};
+
+/// RAII attachment: acquires a record on construction, releases the
+/// record's slots (but keeps its retire list for later scans by the same
+/// record's next owner) on destruction.
+class hazard_thread {
+ public:
+  explicit hazard_thread(hazard_domain& d = hazard_domain::global())
+      : rec_(&d.attach()) {}
+
+  ~hazard_thread() {
+    rec_->clear_all();
+    rec_->in_use.store(false, std::memory_order_release);
+  }
+
+  hazard_thread(const hazard_thread&) = delete;
+  hazard_thread& operator=(const hazard_thread&) = delete;
+
+  hazard_domain::thread_record* operator->() noexcept { return rec_; }
+  hazard_domain::thread_record& operator*() noexcept { return *rec_; }
+
+ private:
+  hazard_domain::thread_record* rec_;
+};
+
+/// Cached per-thread attachment to the global domain. Attach() scans the
+/// record array, which is too slow to pay per queue operation; the
+/// thread_local amortizes it to once per thread. (Only offered for the
+/// global domain: a thread_local tied to a shorter-lived domain could
+/// outlive it.)
+inline hazard_thread& tls_global_hazard() {
+  thread_local hazard_thread h(hazard_domain::global());
+  return h;
+}
+
+inline hazard_domain::thread_record& hazard_domain::attach() {
+  // Reuse a released record if possible, else claim a fresh one.
+  const std::size_t n = hwm_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool expected = false;
+    if (records_[i].in_use.compare_exchange_strong(expected, true,
+                                                   std::memory_order_acq_rel)) {
+      records_[i].owner_ = this;
+      return records_[i];
+    }
+  }
+  for (;;) {
+    std::size_t i = hwm_.load(std::memory_order_acquire);
+    if (i >= kMaxThreads) {
+      // Fall back to racing for released records; with kMaxThreads = 128
+      // this is effectively unreachable in this codebase.
+      for (std::size_t j = 0; j < kMaxThreads; ++j) {
+        bool expected = false;
+        if (records_[j].in_use.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          records_[j].owner_ = this;
+          return records_[j];
+        }
+      }
+      continue;
+    }
+    if (hwm_.compare_exchange_weak(i, i + 1, std::memory_order_acq_rel)) {
+      // The record became visible to the "reuse" loop the moment hwm
+      // moved, so claim it with the same CAS protocol; if a reuser stole
+      // it first, just keep looking.
+      bool expected = false;
+      if (records_[i].in_use.compare_exchange_strong(expected, true,
+                                                     std::memory_order_acq_rel)) {
+        records_[i].owner_ = this;
+        return records_[i];
+      }
+    }
+  }
+}
+
+}  // namespace ffq::runtime

@@ -1,0 +1,75 @@
+// perf_counters.hpp — thin RAII wrapper over perf_event_open.
+//
+// Figures 4–5 of the paper plot IPC, core frequency, and L2/L3 hit ratios
+// recorded "during the benchmark execution ... [from] different
+// performance counters". We expose the subset of counters those figures
+// need. Containers and locked-down kernels frequently deny
+// perf_event_open; every call degrades gracefully and `available()`
+// reports the truth so the bench can fall back to the cache simulator
+// (see DESIGN.md §5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ffq::runtime {
+
+enum class perf_event_kind {
+  cycles,
+  instructions,
+  cache_references,  ///< LLC accesses
+  cache_misses,      ///< LLC misses
+  l1d_read_access,
+  l1d_read_miss,
+};
+
+const char* to_string(perf_event_kind k) noexcept;
+
+/// A group of hardware counters for the calling thread. Counters are
+/// opened on construction, started by start(), and read by read_all().
+class perf_counter_group {
+ public:
+  explicit perf_counter_group(const std::vector<perf_event_kind>& kinds);
+  ~perf_counter_group();
+
+  perf_counter_group(const perf_counter_group&) = delete;
+  perf_counter_group& operator=(const perf_counter_group&) = delete;
+  perf_counter_group(perf_counter_group&&) noexcept;
+  perf_counter_group& operator=(perf_counter_group&&) noexcept;
+
+  /// True when every requested counter opened successfully.
+  bool available() const noexcept { return available_; }
+
+  /// Why the group is unavailable (empty string when available).
+  const std::string& error() const noexcept { return error_; }
+
+  void start() noexcept;
+  void stop() noexcept;
+
+  struct sample {
+    perf_event_kind kind;
+    std::uint64_t value = 0;
+  };
+
+  /// Counter values since start(). Empty when unavailable.
+  std::vector<sample> read_all() const;
+
+  /// Convenience: value of a single kind (0 when absent/unavailable).
+  std::uint64_t value(perf_event_kind k) const;
+
+ private:
+  struct counter {
+    perf_event_kind kind;
+    int fd = -1;
+  };
+
+  std::vector<counter> counters_;
+  bool available_ = false;
+  std::string error_;
+};
+
+/// One-line capability report for benchmark headers.
+std::string perf_capability_summary();
+
+}  // namespace ffq::runtime

@@ -1,0 +1,86 @@
+// rng.hpp — fast, reproducible pseudo-random number generation.
+//
+// The comparative benchmark (paper §V-G / Fig. 8) inserts "an arbitrary
+// delay (between 50 and 150 ns)" between queue operations. Drawing those
+// delays must itself be far cheaper than a queue operation, so we use
+// xoshiro256** (sub-nanosecond per draw) seeded deterministically per
+// thread via splitmix64 — benchmark runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace ffq::runtime {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush; recommended seeding procedure by the xoshiro authors.
+class splitmix64 {
+ public:
+  explicit constexpr splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: all-purpose 64-bit generator (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    splitmix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound) using Lemire's multiply-shift trick
+  /// (no modulo in the common case).
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    unsigned __int128 m = static_cast<unsigned __int128>(operator()()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(operator()()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer uniform in the closed interval [lo, hi].
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + bounded(hi - lo + 1);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ffq::runtime

@@ -1,0 +1,115 @@
+// timing.hpp — cycle counters, TSC calibration, and calibrated spin delays.
+//
+// Three distinct needs across the reproduction:
+//   * throughput benches need a cheap monotonic wall clock,
+//   * the application benchmark (Fig. 7 right) reports latency in CPU
+//     *cycles*, like the paper,
+//   * the comparative benchmark needs 50–150 ns "think time" delays whose
+//     cost is dominated by the delay itself, not by reading a clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace ffq::runtime {
+
+/// Raw timestamp counter. On x86-64 this is `rdtsc`; constant-rate and
+/// monotonic on every CPU from the last decade. Elsewhere falls back to
+/// steady_clock nanoseconds.
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// `rdtsc` with a compiler barrier on both sides so the measured region
+/// cannot be moved across the read. (Not a serializing instruction; fine
+/// for the >100-cycle regions we measure.)
+inline std::uint64_t rdtsc_fenced() noexcept {
+  asm volatile("" ::: "memory");
+  const std::uint64_t t = rdtsc();
+  asm volatile("" ::: "memory");
+  return t;
+}
+
+/// Measured TSC frequency in GHz (cycles per nanosecond). Calibrated once
+/// on first use against steady_clock over a few milliseconds.
+double tsc_ghz();
+
+/// Convert a TSC delta to nanoseconds using the calibrated frequency.
+double tsc_to_ns(std::uint64_t cycles);
+
+/// Convert nanoseconds to TSC cycles.
+std::uint64_t ns_to_tsc(double ns);
+
+/// Busy-wait for approximately `ns` nanoseconds by spinning on the TSC.
+/// Used for the benchmark think time and for the sgxsim enclave-transition
+/// cost model; precision is a few cycles, far below the modeled costs.
+inline void spin_ns_tsc(std::uint64_t deadline_cycles) noexcept {
+#if defined(__x86_64__)
+  while (__rdtsc() < deadline_cycles) {
+    // empty: a pause here would overshoot short (50 ns) delays
+  }
+#else
+  (void)deadline_cycles;
+#endif
+}
+
+void spin_ns(double ns);
+
+/// Measurement window spanning multiple worker threads: each worker
+/// marks its own start (right after the start barrier) and end (right
+/// before the finish barrier); the window is max(end) - min(start).
+///
+/// This is robust against coordinator starvation: on machines with more
+/// benchmark threads than cores, a coordinator thread timing the run
+/// with its own clock may not be scheduled while the workers monopolize
+/// the cores, producing arbitrarily wrong (even zero-length) windows.
+class time_window_recorder {
+ public:
+  explicit time_window_recorder(std::size_t workers)
+      : start_(workers, 0), end_(workers, 0) {}
+
+  void mark_start(std::size_t worker) { start_[worker] = rdtsc_fenced(); }
+  void mark_end(std::size_t worker) { end_[worker] = rdtsc_fenced(); }
+
+  /// Window length in seconds. Call after all workers are joined.
+  double seconds() const {
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (std::size_t i = 0; i < start_.size(); ++i) {
+      lo = start_[i] < lo ? start_[i] : lo;
+      hi = end_[i] > hi ? end_[i] : hi;
+    }
+    if (hi <= lo) return 0.0;
+    return tsc_to_ns(hi - lo) * 1e-9;
+  }
+
+ private:
+  std::vector<std::uint64_t> start_;
+  std::vector<std::uint64_t> end_;
+};
+
+/// Simple scope timer for coarse phases (reports seconds).
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ffq::runtime

@@ -1,0 +1,71 @@
+// topology.hpp — CPU topology discovery (packages / cores / hardware
+// threads).
+//
+// The paper's affinity experiments (§IV-B, Figs. 4–6) require placing a
+// producer and its consumers on (a) the same hardware thread, (b) two
+// sibling hardware threads of one core, or (c) different cores. Computing
+// those placements needs the package/core/HT structure, which we read from
+// Linux sysfs with a flat fallback for restricted environments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ffq::runtime {
+
+/// One logical CPU (a hardware thread).
+struct logical_cpu {
+  int os_id = -1;       ///< id used by sched_setaffinity
+  int package_id = 0;   ///< socket
+  int core_id = 0;      ///< physical core within the machine (normalized)
+  int smt_index = 0;    ///< 0 for the first HT of a core, 1 for its sibling, ...
+};
+
+/// Immutable snapshot of the machine's CPU structure.
+class cpu_topology {
+ public:
+  /// Discover from sysfs; falls back to a flat topology (every online CPU
+  /// its own core, one package) when sysfs is unreadable.
+  static cpu_topology discover();
+
+  /// Build a synthetic topology: `packages` sockets × `cores_per_package`
+  /// cores × `threads_per_core` HTs, os_ids densely numbered core-major.
+  /// Used by tests and by the cache simulator.
+  static cpu_topology synthetic(int packages, int cores_per_package,
+                                int threads_per_core);
+
+  const std::vector<logical_cpu>& cpus() const noexcept { return cpus_; }
+  std::size_t num_cpus() const noexcept { return cpus_.size(); }
+  std::size_t num_cores() const noexcept { return num_cores_; }
+  std::size_t num_packages() const noexcept { return num_packages_; }
+  std::size_t threads_per_core() const noexcept {
+    return num_cores_ ? cpus_.size() / num_cores_ : 1;
+  }
+
+  /// All logical CPUs of one (normalized) core, ordered by smt_index.
+  std::vector<int> core_members(int core_id) const;
+
+  /// os_ids of the first hardware thread of every core (one entry per
+  /// core) — the canonical "one thread per core" placement set.
+  std::vector<int> primary_threads() const;
+
+  /// The sibling HT of `os_id` on the same core, or -1 if the core has a
+  /// single hardware thread.
+  int sibling_of(int os_id) const;
+
+  /// The core the given logical CPU belongs to, or -1 if unknown.
+  int core_of(int os_id) const;
+
+  /// Human-readable one-line summary (for benchmark headers).
+  std::string summary() const;
+
+ private:
+  void finalize();
+
+  std::vector<logical_cpu> cpus_;
+  std::size_t num_cores_ = 0;
+  std::size_t num_packages_ = 0;
+};
+
+}  // namespace ffq::runtime

@@ -1,0 +1,64 @@
+#include "ffq/cachesim/cache.hpp"
+
+#include <cassert>
+
+namespace ffq::cachesim {
+
+set_assoc_cache::set_assoc_cache(const cache_geometry& geo)
+    : geo_(geo), set_mask_(geo.num_sets() - 1), ways_(geo.num_sets() * geo.ways) {
+  assert(geo.valid() && "size must be a power-of-two multiple of line*ways");
+}
+
+bool set_assoc_cache::access(std::uint64_t addr, std::uint64_t* evicted_line) {
+  if (evicted_line != nullptr) *evicted_line = kInvalid;
+  const std::uint64_t line = line_of(addr);
+  way_entry* set = &ways_[set_of_line(line) * geo_.ways];
+  ++tick_;
+
+  way_entry* victim = &set[0];
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    if (set[w].line == line) {
+      set[w].lru = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    // Prefer an empty way, else the least recently used.
+    if (set[w].line == kInvalid) {
+      if (victim->line != kInvalid) victim = &set[w];
+    } else if (victim->line != kInvalid && set[w].lru < victim->lru) {
+      victim = &set[w];
+    }
+  }
+  ++stats_.misses;
+  if (victim->line != kInvalid) {
+    ++stats_.evictions;
+    if (evicted_line != nullptr) *evicted_line = victim->line;
+  }
+  victim->line = line;
+  victim->lru = tick_;
+  return false;
+}
+
+bool set_assoc_cache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr / geo_.line_bytes;
+  const way_entry* set = &ways_[set_of_line(line) * geo_.ways];
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    if (set[w].line == line) return true;
+  }
+  return false;
+}
+
+bool set_assoc_cache::invalidate_line(std::uint64_t line_addr) {
+  way_entry* set = &ways_[set_of_line(line_addr) * geo_.ways];
+  for (std::size_t w = 0; w < geo_.ways; ++w) {
+    if (set[w].line == line_addr) {
+      set[w].line = kInvalid;
+      set[w].lru = 0;
+      ++stats_.invalidations;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ffq::cachesim

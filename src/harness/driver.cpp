@@ -1,0 +1,30 @@
+#include "ffq/harness/driver.hpp"
+
+#include <thread>
+
+#include "ffq/runtime/rng.hpp"
+#include "ffq/runtime/timing.hpp"
+
+namespace ffq::harness {
+
+double measure_think_overhead_ns(std::uint64_t min_ns, std::uint64_t max_ns,
+                                 int samples) {
+  ffq::runtime::xoshiro256ss rng(42);
+  const double ghz = ffq::runtime::tsc_ghz();
+  const std::uint64_t span = max_ns >= min_ns ? max_ns - min_ns + 1 : 1;
+  const std::uint64_t t0 = ffq::runtime::rdtsc_fenced();
+  for (int i = 0; i < samples; ++i) {
+    const double ns = static_cast<double>(min_ns + rng.bounded(span));
+    ffq::runtime::spin_ns_tsc(ffq::runtime::rdtsc() +
+                              static_cast<std::uint64_t>(ns * ghz));
+  }
+  const std::uint64_t t1 = ffq::runtime::rdtsc_fenced();
+  return ffq::runtime::tsc_to_ns(t1 - t0) / samples;
+}
+
+bool oversubscribed(int threads) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 && static_cast<unsigned>(threads) > hw;
+}
+
+}  // namespace ffq::harness

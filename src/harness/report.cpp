@@ -1,0 +1,101 @@
+#include "ffq/harness/report.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "ffq/runtime/perf_counters.hpp"
+#include "ffq/runtime/timing.hpp"
+#include "ffq/runtime/topology.hpp"
+
+namespace ffq::harness {
+
+table::table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::str() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) width[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) os << "  ";
+      const std::string& cell = i < row.size() ? row[i] : "";
+      // Right-align everything but the first (label) column.
+      if (i == 0) {
+        os << cell << std::string(width[i] - cell.size(), ' ');
+      } else {
+        os << std::string(width[i] - cell.size(), ' ') << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < width.size(); ++i) total += width[i] + (i ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+bool table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) f << ',';
+      f << (i < row.size() ? row[i] : "");
+    }
+    f << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return static_cast<bool>(f);
+}
+
+void print_experiment_header(const std::string& experiment_id,
+                             const std::string& description) {
+  const auto topo = ffq::runtime::cpu_topology::discover();
+  std::printf("=== %s ===\n", experiment_id.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("machine: %s; TSC %.2f GHz\n", topo.summary().c_str(),
+              ffq::runtime::tsc_ghz());
+  std::printf("%s\n", ffq::runtime::perf_capability_summary().c_str());
+  std::printf("note: paper testbeds are 8–80 hardware threads; thread "
+              "counts beyond this machine run oversubscribed, which "
+              "shifts crossover points but preserves orderings.\n\n");
+}
+
+bench_cli bench_cli::parse(int argc, char** argv) {
+  bench_cli cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      cli.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      cli.runs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      cli.scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cli.quick = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("flags: --csv <path>  --runs <n>  --scale <f>  --quick\n");
+    }
+  }
+  if (cli.quick) {
+    cli.runs = std::min(cli.runs, 3);
+    cli.scale *= 0.1;
+  }
+  if (cli.runs < 1) cli.runs = 1;
+  return cli;
+}
+
+}  // namespace ffq::harness

@@ -1,0 +1,50 @@
+#include "ffq/harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ffq::harness {
+
+run_stats summarize(std::vector<double> samples) {
+  run_stats s;
+  s.runs = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples.size() % 2 == 1
+                 ? samples[samples.size() / 2]
+                 : (samples[samples.size() / 2 - 1] + samples[samples.size() / 2]) / 2.0;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::string human_rate(double ops_per_sec) {
+  char buf[64];
+  if (ops_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", ops_per_sec / 1e9);
+  } else if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fk", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", ops_per_sec);
+  }
+  return buf;
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace ffq::harness

@@ -1,0 +1,127 @@
+#include "ffq/model/checker.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace ffq::model {
+
+check_result check(const world& initial, std::size_t max_states) {
+  check_result res;
+
+  std::unordered_map<std::string, std::int32_t> ids;
+  std::vector<std::vector<std::int32_t>> succ;  // forward edges by id
+  std::vector<std::uint8_t> terminal;
+  std::deque<world> frontier;
+
+  auto intern = [&](const world& w, bool& fresh) {
+    auto [it, inserted] = ids.try_emplace(w.encode(),
+                                          static_cast<std::int32_t>(ids.size()));
+    fresh = inserted;
+    if (inserted) {
+      succ.emplace_back();
+      terminal.push_back(w.all_done() ? 1 : 0);
+    }
+    return it->second;
+  };
+
+  bool fresh = false;
+  const std::int32_t root = intern(initial, fresh);
+  (void)root;
+  frontier.push_back(initial);
+  std::deque<std::int32_t> frontier_ids;
+  frontier_ids.push_back(0);
+
+  while (!frontier.empty()) {
+    if (ids.size() > max_states) {
+      res.exhausted = false;
+      break;
+    }
+    world w = std::move(frontier.front());
+    frontier.pop_front();
+    const std::int32_t id = frontier_ids.front();
+    frontier_ids.pop_front();
+
+    if (terminal[static_cast<std::size_t>(id)]) {
+      ++res.terminals;
+      continue;
+    }
+
+    for (std::size_t t = 0; t < w.threads_.size(); ++t) {
+      if (w.threads_[t]->done()) continue;
+      world next(w);  // deep copy
+      next.threads_[t]->step(next);
+      ++res.transitions;
+      if (!next.violation_.empty()) {
+        res.ok = false;
+        res.violation = "safety: " + next.violation_;
+        res.states = ids.size();
+        return res;
+      }
+      bool is_new = false;
+      const std::int32_t nid = intern(next, is_new);
+      succ[static_cast<std::size_t>(id)].push_back(nid);
+      if (is_new) {
+        frontier.push_back(std::move(next));
+        frontier_ids.push_back(nid);
+      }
+    }
+  }
+
+  res.states = ids.size();
+
+  if (!res.exhausted) {
+    // Truncated graph: cannot soundly run the liveness phase. Report
+    // what we know; callers treat this as inconclusive.
+    res.ok = res.violation.empty();
+    return res;
+  }
+
+  // --- liveness: backward reachability from terminal states -------------
+  const std::size_t n = succ.size();
+  std::vector<std::vector<std::int32_t>> pred(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::int32_t d : succ[s]) {
+      pred[static_cast<std::size_t>(d)].push_back(static_cast<std::int32_t>(s));
+    }
+  }
+  std::vector<std::uint8_t> can_finish(n, 0);
+  std::deque<std::int32_t> work;
+  std::size_t terminal_count = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (terminal[s]) {
+      can_finish[s] = 1;
+      work.push_back(static_cast<std::int32_t>(s));
+      ++terminal_count;
+    }
+  }
+  res.terminals = terminal_count;
+  while (!work.empty()) {
+    const std::int32_t s = work.front();
+    work.pop_front();
+    for (std::int32_t p : pred[static_cast<std::size_t>(s)]) {
+      if (!can_finish[static_cast<std::size_t>(p)]) {
+        can_finish[static_cast<std::size_t>(p)] = 1;
+        work.push_back(p);
+      }
+    }
+  }
+  std::size_t stuck = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!can_finish[s]) ++stuck;
+  }
+  if (terminal_count == 0) {
+    res.ok = false;
+    res.violation = "liveness: no schedule completes at all";
+  } else if (stuck > 0) {
+    res.ok = false;
+    res.violation = "liveness: " + std::to_string(stuck) +
+                    " reachable state(s) cannot reach completion "
+                    "(lost item or wedged protocol)";
+  } else {
+    res.ok = true;
+  }
+  return res;
+}
+
+}  // namespace ffq::model

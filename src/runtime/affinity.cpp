@@ -1,0 +1,114 @@
+#include "ffq/runtime/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+
+namespace ffq::runtime {
+
+const char* to_string(placement_policy p) noexcept {
+  switch (p) {
+    case placement_policy::same_ht:
+      return "same-HT";
+    case placement_policy::sibling_ht:
+      return "sibling-HT";
+    case placement_policy::other_core:
+      return "other-core";
+    case placement_policy::none:
+      return "no-affinity";
+  }
+  return "?";
+}
+
+std::optional<placement_policy> placement_from_string(const std::string& s) {
+  if (s == "same-HT" || s == "same_ht" || s == "same") return placement_policy::same_ht;
+  if (s == "sibling-HT" || s == "sibling_ht" || s == "sibling")
+    return placement_policy::sibling_ht;
+  if (s == "other-core" || s == "other_core" || s == "other")
+    return placement_policy::other_core;
+  if (s == "no-affinity" || s == "none") return placement_policy::none;
+  return std::nullopt;
+}
+
+bool pin_self_to(int os_cpu_id) noexcept {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(os_cpu_id, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool pin_self_to(const std::vector<int>& os_cpu_ids) noexcept {
+  if (os_cpu_ids.empty()) return unpin_self();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int id : os_cpu_ids) CPU_SET(id, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool unpin_self() noexcept {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int i = 0; i < CPU_SETSIZE; ++i) CPU_SET(i, &set);
+  // The kernel intersects with the allowed set, so this cannot fail for
+  // cpuset reasons; EINVAL only if the intersection is empty (impossible).
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+std::vector<int> current_affinity() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  std::vector<int> cpus;
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) return cpus;
+  for (int i = 0; i < CPU_SETSIZE; ++i) {
+    if (CPU_ISSET(i, &set)) cpus.push_back(i);
+  }
+  return cpus;
+}
+
+std::vector<group_placement> plan_placement(const cpu_topology& topo,
+                                            placement_policy policy,
+                                            std::size_t groups) {
+  std::vector<group_placement> plan(groups);
+  if (policy == placement_policy::none || topo.num_cores() == 0) {
+    return plan;  // all groups unpinned
+  }
+
+  const std::size_t ncores = topo.num_cores();
+  for (std::size_t g = 0; g < groups; ++g) {
+    const int core = static_cast<int>(g % ncores);
+    const auto members = topo.core_members(core);
+    if (members.empty()) continue;  // defensive; discover() never yields this
+
+    switch (policy) {
+      case placement_policy::same_ht:
+        // Everything on the first hardware thread of the core.
+        plan[g].producer_cpus = {members.front()};
+        plan[g].consumer_cpus = {members.front()};
+        break;
+      case placement_policy::sibling_ht:
+        plan[g].producer_cpus = {members.front()};
+        // Consumers on the sibling; cores without SMT degrade to same-HT,
+        // which the caller can detect via the topology if it cares.
+        plan[g].consumer_cpus = {members.size() > 1 ? members[1] : members.front()};
+        break;
+      case placement_policy::other_core: {
+        plan[g].producer_cpus = {members.front()};
+        const std::size_t other =
+            ncores > 1 ? (g + std::max<std::size_t>(groups, 1)) % ncores : 0;
+        const auto other_members =
+            topo.core_members(static_cast<int>(other == g % ncores && ncores > 1
+                                                   ? (other + 1) % ncores
+                                                   : other));
+        plan[g].consumer_cpus = {other_members.empty() ? members.front()
+                                                       : other_members.front()};
+        break;
+      }
+      case placement_policy::none:
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace ffq::runtime

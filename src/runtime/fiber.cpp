@@ -1,0 +1,93 @@
+#include "ffq/runtime/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+namespace ffq::runtime {
+
+namespace {
+
+struct fiber_state {
+  ucontext_t ctx{};
+  std::vector<char> stack;
+  std::function<void()> fn;
+  bool finished = false;
+};
+
+}  // namespace
+
+struct fiber_scheduler::impl {
+  ucontext_t main_ctx{};
+  std::deque<fiber_state*> ready;
+  std::vector<std::unique_ptr<fiber_state>> all;
+  fiber_state* current = nullptr;
+
+  static thread_local impl* active;  // scheduler running on this OS thread
+
+  static void trampoline() {
+    impl* self = active;
+    fiber_state* f = self->current;
+    f->fn();
+    f->finished = true;
+    // Back to the scheduler loop; this context is never resumed again.
+    swapcontext(&f->ctx, &self->main_ctx);
+  }
+};
+
+thread_local fiber_scheduler::impl* fiber_scheduler::impl::active = nullptr;
+
+fiber_scheduler::fiber_scheduler() : impl_(std::make_unique<impl>()) {}
+fiber_scheduler::~fiber_scheduler() = default;
+
+void fiber_scheduler::spawn(std::function<void()> fn) {
+  auto f = std::make_unique<fiber_state>();
+  f->stack.resize(kStackBytes);
+  f->fn = std::move(fn);
+  getcontext(&f->ctx);
+  f->ctx.uc_stack.ss_sp = f->stack.data();
+  f->ctx.uc_stack.ss_size = f->stack.size();
+  f->ctx.uc_link = nullptr;  // termination handled by the trampoline
+  makecontext(&f->ctx, reinterpret_cast<void (*)()>(&impl::trampoline), 0);
+  impl_->ready.push_back(f.get());
+  impl_->all.push_back(std::move(f));
+}
+
+void fiber_scheduler::run() {
+  assert(impl::active == nullptr && "nested schedulers on one OS thread");
+  impl::active = impl_.get();
+  while (!impl_->ready.empty()) {
+    fiber_state* f = impl_->ready.front();
+    impl_->ready.pop_front();
+    impl_->current = f;
+    swapcontext(&impl_->main_ctx, &f->ctx);
+    impl_->current = nullptr;
+    if (!f->finished) {
+      impl_->ready.push_back(f);  // yielded: reschedule round-robin
+    }
+  }
+  impl::active = nullptr;
+}
+
+std::size_t fiber_scheduler::live_fibers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : impl_->all) {
+    if (!f->finished) ++n;
+  }
+  return n;
+}
+
+void fiber_scheduler::yield() {
+  impl* self = impl::active;
+  if (self == nullptr || self->current == nullptr) return;  // not in a fiber
+  fiber_state* f = self->current;
+  swapcontext(&f->ctx, &self->main_ctx);
+}
+
+bool fiber_scheduler::in_fiber() noexcept {
+  return impl::active != nullptr && impl::active->current != nullptr;
+}
+
+}  // namespace ffq::runtime

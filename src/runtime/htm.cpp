@@ -1,0 +1,67 @@
+#include "ffq/runtime/htm.hpp"
+
+#if defined(FFQ_HAVE_RTM) && defined(__x86_64__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+namespace ffq::runtime {
+
+bool htm_hardware_available() noexcept {
+#if defined(FFQ_HAVE_RTM) && defined(__x86_64__)
+  static const bool avail = [] {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+    return (ebx & (1u << 11)) != 0;  // RTM
+  }();
+  return avail;
+#else
+  return false;
+#endif
+}
+
+bool htm_context::begin_tx(htm_lock& lk) noexcept {
+#if defined(FFQ_HAVE_RTM) && defined(__x86_64__)
+  if (htm_hardware_available()) {
+    if (_xbegin() == _XBEGIN_STARTED) {
+      // Subscribe to the fallback lock: abort if someone holds it, and
+      // bring its line into our read set so a later lock() aborts us.
+      if (lk.is_locked()) {
+        _xabort(0xff);
+      }
+      in_hw_tx_ = true;
+      return true;
+    }
+    return false;
+  }
+#endif
+  // --- Emulation path -----------------------------------------------
+  if (lk.is_locked()) {
+    // Lock contended: a real transaction would conflict-abort with some
+    // probability depending on overlap; model that before even trying.
+    if (rng_.bounded(1000) < abort_rate_permille_) return false;
+  }
+  // "Begin" = acquire the emulation lock non-blockingly; failure to
+  // acquire is a conflict abort.
+  if (lk.is_locked()) return false;
+  lk.lock();  // TATAS; effectively a short trylock after the check above
+  holds_emulation_lock_ = true;
+  return true;
+}
+
+void htm_context::end_tx(htm_lock& lk) noexcept {
+#if defined(FFQ_HAVE_RTM) && defined(__x86_64__)
+  if (in_hw_tx_) {
+    _xend();
+    in_hw_tx_ = false;
+    return;
+  }
+#endif
+  if (holds_emulation_lock_) {
+    lk.unlock();
+    holds_emulation_lock_ = false;
+  }
+  (void)lk;
+}
+
+}  // namespace ffq::runtime

@@ -1,0 +1,185 @@
+#include "ffq/runtime/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ffq::runtime {
+
+const char* to_string(perf_event_kind k) noexcept {
+  switch (k) {
+    case perf_event_kind::cycles:
+      return "cycles";
+    case perf_event_kind::instructions:
+      return "instructions";
+    case perf_event_kind::cache_references:
+      return "cache-references";
+    case perf_event_kind::cache_misses:
+      return "cache-misses";
+    case perf_event_kind::l1d_read_access:
+      return "L1d-read-access";
+    case perf_event_kind::l1d_read_miss:
+      return "L1d-read-miss";
+  }
+  return "?";
+}
+
+#if defined(__linux__)
+namespace {
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                         unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+bool fill_attr(perf_event_kind k, perf_event_attr& attr) {
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  switch (k) {
+    case perf_event_kind::cycles:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CPU_CYCLES;
+      return true;
+    case perf_event_kind::instructions:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+      return true;
+    case perf_event_kind::cache_references:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_REFERENCES;
+      return true;
+    case perf_event_kind::cache_misses:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_MISSES;
+      return true;
+    case perf_event_kind::l1d_read_access:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16);
+      return true;
+    case perf_event_kind::l1d_read_miss:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+perf_counter_group::perf_counter_group(const std::vector<perf_event_kind>& kinds) {
+  available_ = true;
+  for (perf_event_kind k : kinds) {
+    perf_event_attr attr;
+    if (!fill_attr(k, attr)) {
+      available_ = false;
+      error_ = "unknown counter kind";
+      break;
+    }
+    const long fd = sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1,
+                                        /*group_fd=*/-1, /*flags=*/0);
+    if (fd < 0) {
+      available_ = false;
+      error_ = std::string(to_string(k)) + ": " + std::strerror(errno);
+      break;
+    }
+    counters_.push_back({k, static_cast<int>(fd)});
+  }
+  if (!available_) {
+    for (auto& c : counters_) close(c.fd);
+    counters_.clear();
+  }
+}
+
+perf_counter_group::~perf_counter_group() {
+  for (auto& c : counters_) {
+    if (c.fd >= 0) close(c.fd);
+  }
+}
+
+void perf_counter_group::start() noexcept {
+  for (auto& c : counters_) {
+    ioctl(c.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(c.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void perf_counter_group::stop() noexcept {
+  for (auto& c : counters_) ioctl(c.fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+std::vector<perf_counter_group::sample> perf_counter_group::read_all() const {
+  std::vector<sample> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    std::uint64_t v = 0;
+    if (read(c.fd, &v, sizeof(v)) == static_cast<ssize_t>(sizeof(v))) {
+      out.push_back({c.kind, v});
+    }
+  }
+  return out;
+}
+
+#else  // !__linux__
+
+perf_counter_group::perf_counter_group(const std::vector<perf_event_kind>&) {
+  available_ = false;
+  error_ = "perf_event_open unsupported on this platform";
+}
+perf_counter_group::~perf_counter_group() = default;
+void perf_counter_group::start() noexcept {}
+void perf_counter_group::stop() noexcept {}
+std::vector<perf_counter_group::sample> perf_counter_group::read_all() const {
+  return {};
+}
+
+#endif
+
+perf_counter_group::perf_counter_group(perf_counter_group&& o) noexcept
+    : counters_(std::move(o.counters_)),
+      available_(std::exchange(o.available_, false)),
+      error_(std::move(o.error_)) {
+  o.counters_.clear();
+}
+
+perf_counter_group& perf_counter_group::operator=(perf_counter_group&& o) noexcept {
+  if (this != &o) {
+#if defined(__linux__)
+    for (auto& c : counters_) {
+      if (c.fd >= 0) close(c.fd);
+    }
+#endif
+    counters_ = std::move(o.counters_);
+    o.counters_.clear();
+    available_ = std::exchange(o.available_, false);
+    error_ = std::move(o.error_);
+  }
+  return *this;
+}
+
+std::uint64_t perf_counter_group::value(perf_event_kind k) const {
+  for (const auto& s : read_all()) {
+    if (s.kind == k) return s.value;
+  }
+  return 0;
+}
+
+std::string perf_capability_summary() {
+  perf_counter_group probe({perf_event_kind::cycles, perf_event_kind::instructions});
+  if (probe.available()) return "perf counters: available";
+  return "perf counters: unavailable (" + probe.error() +
+         ") — cache figures fall back to the cache simulator";
+}
+
+}  // namespace ffq::runtime

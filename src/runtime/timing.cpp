@@ -1,0 +1,52 @@
+#include "ffq/runtime/timing.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace ffq::runtime {
+namespace {
+
+double calibrate_tsc_ghz() {
+  using clock = std::chrono::steady_clock;
+  // Two back-to-back windows; keep the slower (less preempted) estimate is
+  // not meaningful for frequency, so average the two ~5 ms windows. Total
+  // calibration cost ~10 ms, paid once per process.
+  double sum = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    const auto t0 = clock::now();
+    const std::uint64_t c0 = rdtsc_fenced();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const std::uint64_t c1 = rdtsc_fenced();
+    const auto t1 = clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    sum += static_cast<double>(c1 - c0) / ns;
+  }
+  const double ghz = sum / 2.0;
+  // Defensive clamp: a broken TSC (or the non-x86 fallback, which counts
+  // nanoseconds and therefore calibrates to ~1.0) stays usable.
+  if (ghz < 0.1 || ghz > 10.0) return 1.0;
+  return ghz;
+}
+
+}  // namespace
+
+double tsc_ghz() {
+  static const double ghz = calibrate_tsc_ghz();
+  return ghz;
+}
+
+double tsc_to_ns(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / tsc_ghz();
+}
+
+std::uint64_t ns_to_tsc(double ns) {
+  return static_cast<std::uint64_t>(ns * tsc_ghz());
+}
+
+void spin_ns(double ns) {
+  const std::uint64_t deadline = rdtsc() + ns_to_tsc(ns);
+  spin_ns_tsc(deadline);
+}
+
+}  // namespace ffq::runtime

@@ -1,0 +1,166 @@
+#include "ffq/runtime/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace ffq::runtime {
+namespace {
+
+bool read_int_file(const std::string& path, int& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  f >> out;
+  return static_cast<bool>(f);
+}
+
+/// Parses a kernel cpulist string like "0-3,8,10-11" into individual ids.
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> ids;
+  std::stringstream ss(list);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    const auto dash = tok.find('-');
+    if (dash == std::string::npos) {
+      ids.push_back(std::stoi(tok));
+    } else {
+      const int lo = std::stoi(tok.substr(0, dash));
+      const int hi = std::stoi(tok.substr(dash + 1));
+      for (int i = lo; i <= hi; ++i) ids.push_back(i);
+    }
+  }
+  return ids;
+}
+
+std::vector<int> online_cpus() {
+  std::ifstream f("/sys/devices/system/cpu/online");
+  if (f) {
+    std::string line;
+    std::getline(f, line);
+    auto ids = parse_cpulist(line);
+    if (!ids.empty()) return ids;
+  }
+  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> ids(n);
+  for (unsigned i = 0; i < n; ++i) ids[i] = static_cast<int>(i);
+  return ids;
+}
+
+}  // namespace
+
+void cpu_topology::finalize() {
+  // Normalize (package_id, raw core_id) pairs into dense core ids and
+  // assign smt indexes in os_id order within each core.
+  std::map<std::pair<int, int>, int> core_map;
+  std::map<int, int> package_map;
+  std::sort(cpus_.begin(), cpus_.end(),
+            [](const logical_cpu& a, const logical_cpu& b) { return a.os_id < b.os_id; });
+  std::map<int, int> smt_counter;
+  for (auto& c : cpus_) {
+    auto [pit, pnew] = package_map.try_emplace(c.package_id,
+                                               static_cast<int>(package_map.size()));
+    (void)pnew;
+    c.package_id = pit->second;
+    auto key = std::make_pair(c.package_id, c.core_id);
+    auto [cit, cnew] = core_map.try_emplace(key, static_cast<int>(core_map.size()));
+    (void)cnew;
+    c.core_id = cit->second;
+    c.smt_index = smt_counter[c.core_id]++;
+  }
+  num_cores_ = core_map.size();
+  num_packages_ = package_map.size();
+}
+
+cpu_topology cpu_topology::discover() {
+  cpu_topology t;
+  for (int id : online_cpus()) {
+    logical_cpu c;
+    c.os_id = id;
+    const std::string base = "/sys/devices/system/cpu/cpu" + std::to_string(id) + "/topology/";
+    int v = 0;
+    c.package_id = read_int_file(base + "physical_package_id", v) ? v : 0;
+    // Fallback: treat each logical CPU as its own core when sysfs is
+    // unavailable (containers often mask it) — degrades affinity policies
+    // to "other core"/"none", which the planners handle.
+    c.core_id = read_int_file(base + "core_id", v) ? v : id;
+    t.cpus_.push_back(c);
+  }
+  t.finalize();
+  return t;
+}
+
+cpu_topology cpu_topology::synthetic(int packages, int cores_per_package,
+                                     int threads_per_core) {
+  cpu_topology t;
+  int os_id = 0;
+  for (int smt = 0; smt < threads_per_core; ++smt) {
+    // os_ids enumerate all first-HTs before all second-HTs, matching the
+    // common Linux enumeration on Intel (cpu0..3 = HT0 of cores 0..3,
+    // cpu4..7 = HT1 of cores 0..3).
+    for (int p = 0; p < packages; ++p) {
+      for (int core = 0; core < cores_per_package; ++core) {
+        logical_cpu c;
+        c.os_id = os_id++;
+        c.package_id = p;
+        c.core_id = p * cores_per_package + core;
+        t.cpus_.push_back(c);
+      }
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+std::vector<int> cpu_topology::core_members(int core_id) const {
+  std::vector<const logical_cpu*> members;
+  for (const auto& c : cpus_) {
+    if (c.core_id == core_id) members.push_back(&c);
+  }
+  std::sort(members.begin(), members.end(),
+            [](const logical_cpu* a, const logical_cpu* b) {
+              return a->smt_index < b->smt_index;
+            });
+  std::vector<int> ids;
+  ids.reserve(members.size());
+  for (const auto* c : members) ids.push_back(c->os_id);
+  return ids;
+}
+
+std::vector<int> cpu_topology::primary_threads() const {
+  std::vector<int> ids;
+  for (const auto& c : cpus_) {
+    if (c.smt_index == 0) ids.push_back(c.os_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int cpu_topology::sibling_of(int os_id) const {
+  const int core = core_of(os_id);
+  if (core < 0) return -1;
+  for (const auto& c : cpus_) {
+    if (c.core_id == core && c.os_id != os_id) return c.os_id;
+  }
+  return -1;
+}
+
+int cpu_topology::core_of(int os_id) const {
+  for (const auto& c : cpus_) {
+    if (c.os_id == os_id) return c.core_id;
+  }
+  return -1;
+}
+
+std::string cpu_topology::summary() const {
+  std::ostringstream os;
+  os << num_packages_ << " package(s), " << num_cores_ << " core(s), "
+     << cpus_.size() << " hardware thread(s), " << threads_per_core()
+     << " HT/core";
+  return os.str();
+}
+
+}  // namespace ffq::runtime

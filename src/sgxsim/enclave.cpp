@@ -1,0 +1,30 @@
+#include "ffq/sgxsim/enclave.hpp"
+
+#include "ffq/runtime/timing.hpp"
+
+namespace ffq::sgxsim {
+
+void enclave_thread::charge(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  ffq::runtime::spin_ns_tsc(ffq::runtime::rdtsc() + cycles);
+}
+
+void enclave_thread::eenter() {
+  charge(model_.transition_cycles);
+  inside_ = true;
+  ++transitions_;
+  if (counter_ != nullptr) counter_->fetch_add(1, std::memory_order_relaxed);
+}
+
+void enclave_thread::eexit() {
+  charge(model_.transition_cycles);
+  inside_ = false;
+  ++transitions_;
+  if (counter_ != nullptr) counter_->fetch_add(1, std::memory_order_relaxed);
+}
+
+void enclave_thread::charge_inside_op() {
+  if (inside_) charge(model_.inside_op_cycles);
+}
+
+}  // namespace ffq::sgxsim

@@ -1,0 +1,363 @@
+#include "ffq/sgxsim/syscall_service.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ffq/baselines/vyukov_mpmc.hpp"
+#include "ffq/core/ffq.hpp"
+#include "ffq/runtime/backoff.hpp"
+#include "ffq/runtime/barrier.hpp"
+#include "ffq/runtime/timing.hpp"
+#include "ffq/runtime/topology.hpp"
+#include "ffq/runtime/affinity.hpp"
+
+namespace ffq::sgxsim {
+
+const char* to_string(service_variant v) noexcept {
+  switch (v) {
+    case service_variant::native:
+      return "native";
+    case service_variant::sgx_sync:
+      return "sgx-sync";
+    case service_variant::sgx_ffq:
+      return "sgx-ffq";
+    case service_variant::sgx_mpmc:
+      return "sgx-mpmc";
+  }
+  return "?";
+}
+
+namespace {
+
+namespace rt = ffq::runtime;
+
+/// The actual system call under test. getppid(2) "executes fast and
+/// involves no costly system call argument copying, making system call
+/// queues a bottleneck". When cfg.simulated_syscall_ns > 0, a calibrated
+/// spin stands in for it (see the header comment).
+inline std::uint64_t do_syscall(const service_config& cfg) {
+  if (cfg.simulated_syscall_ns > 0.0) {
+    rt::spin_ns(cfg.simulated_syscall_ns);
+    return 42;
+  }
+  return static_cast<std::uint64_t>(::getppid());
+}
+
+void maybe_pin(const service_config& cfg, const rt::cpu_topology& topo, int idx) {
+  if (!cfg.pin_threads || topo.cpus().empty()) return;
+  const auto& cpus = topo.cpus();
+  std::size_t usable = cpus.size();
+  if (cfg.cpu_limit > 0) {
+    usable = std::min<std::size_t>(usable, static_cast<std::size_t>(cfg.cpu_limit));
+  }
+  rt::pin_self_to(cpus[static_cast<std::size_t>(idx) % usable].os_id);
+}
+
+// --------------------------------------------------------------------------
+// native: direct calls.
+// --------------------------------------------------------------------------
+service_result run_native(const service_config& cfg) {
+  const auto topo = rt::cpu_topology::discover();
+  rt::spin_barrier barrier(static_cast<std::size_t>(cfg.app_threads) + 1);
+  rt::time_window_recorder window(static_cast<std::size_t>(cfg.app_threads));
+  std::atomic<std::uint64_t> latency_sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.app_threads; ++t) {
+    threads.emplace_back([&, t] {
+      maybe_pin(cfg, topo, t);
+      barrier.arrive_and_wait();
+      window.mark_start(static_cast<std::size_t>(t));
+      std::uint64_t local_lat = 0;
+      for (std::uint64_t i = 0; i < cfg.calls_per_thread; ++i) {
+        const std::uint64_t t0 = rt::rdtsc();
+        volatile std::uint64_t r = do_syscall(cfg);
+        (void)r;
+        local_lat += rt::rdtsc() - t0;
+      }
+      latency_sum.fetch_add(local_lat, std::memory_order_relaxed);
+      window.mark_end(static_cast<std::size_t>(t));
+      barrier.arrive_and_wait();
+    });
+  }
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  for (auto& t : threads) t.join();
+  const double secs = window.seconds();
+
+  service_result res;
+  res.total_calls = cfg.calls_per_thread * static_cast<std::uint64_t>(cfg.app_threads);
+  res.calls_per_sec = static_cast<double>(res.total_calls) / secs;
+  res.avg_latency_cycles =
+      static_cast<double>(latency_sum.load()) / static_cast<double>(res.total_calls);
+  return res;
+}
+
+// --------------------------------------------------------------------------
+// sgx_sync: the traditional exit/trap/re-enter path.
+// --------------------------------------------------------------------------
+service_result run_sgx_sync(const service_config& cfg) {
+  const auto topo = rt::cpu_topology::discover();
+  rt::spin_barrier barrier(static_cast<std::size_t>(cfg.app_threads) + 1);
+  rt::time_window_recorder window(static_cast<std::size_t>(cfg.app_threads));
+  std::atomic<std::uint64_t> latency_sum{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.app_threads; ++t) {
+    threads.emplace_back([&, t] {
+      maybe_pin(cfg, topo, t);
+      enclave_thread enclave(cfg.cost, &transitions);
+      enclave.eenter();
+      barrier.arrive_and_wait();
+      window.mark_start(static_cast<std::size_t>(t));
+      std::uint64_t local_lat = 0;
+      for (std::uint64_t i = 0; i < cfg.calls_per_thread; ++i) {
+        const std::uint64_t t0 = rt::rdtsc();
+        enclave.charge_inside_op();
+        volatile std::uint64_t r = enclave.ocall([&] { return do_syscall(cfg); });
+        (void)r;
+        local_lat += rt::rdtsc() - t0;
+      }
+      latency_sum.fetch_add(local_lat, std::memory_order_relaxed);
+      window.mark_end(static_cast<std::size_t>(t));
+      barrier.arrive_and_wait();
+      enclave.eexit();
+    });
+  }
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  for (auto& t : threads) t.join();
+  const double secs = window.seconds();
+
+  service_result res;
+  res.total_calls = cfg.calls_per_thread * static_cast<std::uint64_t>(cfg.app_threads);
+  res.calls_per_sec = static_cast<double>(res.total_calls) / secs;
+  res.avg_latency_cycles =
+      static_cast<double>(latency_sum.load()) / static_cast<double>(res.total_calls);
+  res.enclave_transitions = transitions.load();
+  return res;
+}
+
+// --------------------------------------------------------------------------
+// sgx_ffq: per-app-thread FFQ SPMC submission + FFQ SPSC response.
+// --------------------------------------------------------------------------
+service_result run_sgx_ffq(const service_config& cfg) {
+  using submission_q = ffq::core::spmc_queue<syscall_request>;
+  using response_q = ffq::core::spsc_queue<syscall_response>;
+
+  const auto topo = rt::cpu_topology::discover();
+  const int apps = cfg.app_threads;
+  // Every submission queue needs at least one executor.
+  const int oss = std::max(cfg.os_threads, apps);
+
+  // "an array with SPSC response queues for each of the consumers
+  // assigned to the producer" (§V-A): one response queue per
+  // (app thread, executor) pair, so each stays single-producer.
+  std::vector<std::unique_ptr<submission_q>> submissions;
+  std::vector<std::vector<std::unique_ptr<response_q>>> responses(apps);
+  for (int a = 0; a < apps; ++a) {
+    submissions.push_back(std::make_unique<submission_q>(cfg.queue_capacity));
+  }
+  for (int j = 0; j < oss; ++j) {
+    responses[j % apps].push_back(
+        std::make_unique<response_q>(cfg.queue_capacity));
+  }
+
+  rt::spin_barrier barrier(static_cast<std::size_t>(apps + oss) + 1);
+  rt::time_window_recorder window(static_cast<std::size_t>(apps + oss));
+  std::atomic<std::uint64_t> latency_sum{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::vector<std::thread> threads;
+
+  // OS executor threads: each serves the submission queues assigned to
+  // it round-robin (os thread j primarily serves queue j % apps; with
+  // more OS threads than apps, queues get multiple consumers — the SPMC
+  // fan-out the design exists for).
+  for (int j = 0; j < oss; ++j) {
+    threads.emplace_back([&, j] {
+      maybe_pin(cfg, topo, apps + j);
+      auto& sub = *submissions[static_cast<std::size_t>(j % apps)];
+      auto& resp = *responses[static_cast<std::size_t>(j % apps)]
+                             [static_cast<std::size_t>(j / apps)];
+      barrier.arrive_and_wait();
+      window.mark_start(static_cast<std::size_t>(apps + j));
+      syscall_request req;
+      while (sub.dequeue(req)) {
+        syscall_response r;
+        r.result = do_syscall(cfg);
+        r.issue_tsc = req.issue_tsc;
+        resp.enqueue(r);
+      }
+      window.mark_end(static_cast<std::size_t>(apps + j));
+      barrier.arrive_and_wait();
+    });
+  }
+
+  // App threads ("inside the enclave"): one outstanding call at a time —
+  // the paper's flow-control assumption.
+  for (int a = 0; a < apps; ++a) {
+    threads.emplace_back([&, a] {
+      maybe_pin(cfg, topo, a);
+      enclave_thread enclave(cfg.cost, &transitions);
+      enclave.eenter();
+      barrier.arrive_and_wait();
+      window.mark_start(static_cast<std::size_t>(a));
+      auto& sub = *submissions[a];
+      auto& my_responses = responses[a];
+      std::uint64_t local_lat = 0;
+      std::size_t rr = 0;  // round-robin over this thread's response queues
+      for (std::uint64_t i = 0; i < cfg.calls_per_thread; ++i) {
+        enclave.charge_inside_op();
+        syscall_request req;
+        req.app_thread = static_cast<std::uint32_t>(a);
+        req.issue_tsc = rt::rdtsc();
+        sub.enqueue(req);
+        // "loop through the response queues for dequeuing values".
+        syscall_response r;
+        rt::yielding_backoff bo;
+        for (;;) {
+          if (my_responses[rr]->try_dequeue(r)) break;
+          rr = (rr + 1) % my_responses.size();
+          if (rr == 0) bo.pause();
+        }
+        local_lat += rt::rdtsc() - r.issue_tsc;
+      }
+      sub.close();
+      latency_sum.fetch_add(local_lat, std::memory_order_relaxed);
+      window.mark_end(static_cast<std::size_t>(a));
+      barrier.arrive_and_wait();
+      enclave.eexit();
+    });
+  }
+
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  for (auto& t : threads) t.join();
+  const double secs = window.seconds();
+
+  service_result res;
+  res.total_calls = cfg.calls_per_thread * static_cast<std::uint64_t>(apps);
+  res.calls_per_sec = static_cast<double>(res.total_calls) / secs;
+  res.avg_latency_cycles =
+      static_cast<double>(latency_sum.load()) / static_cast<double>(res.total_calls);
+  res.enclave_transitions = transitions.load();
+  return res;
+}
+
+// --------------------------------------------------------------------------
+// sgx_mpmc: one global generic MPMC queue for submissions (the paper's
+// "external MPMC queue"), per-app-thread MPMC response queues.
+// --------------------------------------------------------------------------
+service_result run_sgx_mpmc(const service_config& cfg) {
+  using submission_q = ffq::baselines::vyukov_mpmc_queue<syscall_request>;
+  using response_q = ffq::baselines::vyukov_mpmc_queue<syscall_response>;
+
+  const auto topo = rt::cpu_topology::discover();
+  const int apps = cfg.app_threads;
+  const int oss = std::max(cfg.os_threads, 1);
+
+  submission_q submission(cfg.queue_capacity);
+  std::vector<std::unique_ptr<response_q>> responses;
+  for (int a = 0; a < apps; ++a) {
+    responses.push_back(std::make_unique<response_q>(cfg.queue_capacity));
+  }
+
+  rt::spin_barrier barrier(static_cast<std::size_t>(apps + oss) + 1);
+  rt::time_window_recorder window(static_cast<std::size_t>(apps + oss));
+  std::atomic<std::uint64_t> latency_sum{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<int> producers_done{0};
+  std::vector<std::thread> threads;
+
+  for (int j = 0; j < oss; ++j) {
+    threads.emplace_back([&, j] {
+      maybe_pin(cfg, topo, apps + j);
+      barrier.arrive_and_wait();
+      window.mark_start(static_cast<std::size_t>(apps + j));
+      syscall_request req;
+      rt::yielding_backoff bo;
+      for (;;) {
+        if (submission.try_dequeue(req)) {
+          bo.reset();
+          syscall_response r;
+          r.result = do_syscall(cfg);
+          r.issue_tsc = req.issue_tsc;
+          responses[req.app_thread]->enqueue(r);
+        } else if (producers_done.load(std::memory_order_acquire) == apps) {
+          if (!submission.try_dequeue(req)) break;
+          syscall_response r;
+          r.result = do_syscall(cfg);
+          r.issue_tsc = req.issue_tsc;
+          responses[req.app_thread]->enqueue(r);
+        } else {
+          bo.pause();
+        }
+      }
+      window.mark_end(static_cast<std::size_t>(apps + j));
+      barrier.arrive_and_wait();
+    });
+  }
+
+  for (int a = 0; a < apps; ++a) {
+    threads.emplace_back([&, a] {
+      maybe_pin(cfg, topo, a);
+      enclave_thread enclave(cfg.cost, &transitions);
+      enclave.eenter();
+      barrier.arrive_and_wait();
+      window.mark_start(static_cast<std::size_t>(a));
+      auto& resp = *responses[a];
+      std::uint64_t local_lat = 0;
+      for (std::uint64_t i = 0; i < cfg.calls_per_thread; ++i) {
+        enclave.charge_inside_op();
+        syscall_request req;
+        req.app_thread = static_cast<std::uint32_t>(a);
+        req.issue_tsc = rt::rdtsc();
+        submission.enqueue(req);
+        syscall_response r;
+        rt::yielding_backoff bo;
+        while (!resp.try_dequeue(r)) bo.pause();
+        local_lat += rt::rdtsc() - r.issue_tsc;
+      }
+      producers_done.fetch_add(1, std::memory_order_release);
+      latency_sum.fetch_add(local_lat, std::memory_order_relaxed);
+      window.mark_end(static_cast<std::size_t>(a));
+      barrier.arrive_and_wait();
+      enclave.eexit();
+    });
+  }
+
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  for (auto& t : threads) t.join();
+  const double secs = window.seconds();
+
+  service_result res;
+  res.total_calls = cfg.calls_per_thread * static_cast<std::uint64_t>(apps);
+  res.calls_per_sec = static_cast<double>(res.total_calls) / secs;
+  res.avg_latency_cycles =
+      static_cast<double>(latency_sum.load()) / static_cast<double>(res.total_calls);
+  res.enclave_transitions = transitions.load();
+  return res;
+}
+
+}  // namespace
+
+service_result run_syscall_service(const service_config& cfg) {
+  switch (cfg.variant) {
+    case service_variant::native:
+      return run_native(cfg);
+    case service_variant::sgx_sync:
+      return run_sgx_sync(cfg);
+    case service_variant::sgx_ffq:
+      return run_sgx_ffq(cfg);
+    case service_variant::sgx_mpmc:
+      return run_sgx_mpmc(cfg);
+  }
+  return {};
+}
+
+}  // namespace ffq::sgxsim

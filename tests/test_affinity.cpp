@@ -1,0 +1,86 @@
+#include "ffq/runtime/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace rt = ffq::runtime;
+
+TEST(Affinity, PolicyNamesRoundTrip) {
+  using rt::placement_policy;
+  for (auto p : {placement_policy::same_ht, placement_policy::sibling_ht,
+                 placement_policy::other_core, placement_policy::none}) {
+    const auto parsed = rt::placement_from_string(rt::to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(rt::placement_from_string("bogus").has_value());
+}
+
+TEST(Affinity, PinAndReadBack) {
+  const auto before = rt::current_affinity();
+  ASSERT_FALSE(before.empty());
+  const int target = before.front();
+  ASSERT_TRUE(rt::pin_self_to(target));
+  const auto now = rt::current_affinity();
+  ASSERT_EQ(now.size(), 1u);
+  EXPECT_EQ(now.front(), target);
+  ASSERT_TRUE(rt::unpin_self());
+  EXPECT_GE(rt::current_affinity().size(), before.size());
+}
+
+TEST(Affinity, PlanNonePinsNothing) {
+  const auto topo = rt::cpu_topology::synthetic(1, 4, 2);
+  const auto plan = rt::plan_placement(topo, rt::placement_policy::none, 3);
+  ASSERT_EQ(plan.size(), 3u);
+  for (const auto& g : plan) {
+    EXPECT_TRUE(g.producer_cpus.empty());
+    EXPECT_TRUE(g.consumer_cpus.empty());
+  }
+}
+
+TEST(Affinity, PlanSameHtPutsGroupOnOneCpu) {
+  const auto topo = rt::cpu_topology::synthetic(1, 4, 2);
+  const auto plan = rt::plan_placement(topo, rt::placement_policy::same_ht, 4);
+  for (const auto& g : plan) {
+    ASSERT_EQ(g.producer_cpus.size(), 1u);
+    EXPECT_EQ(g.producer_cpus, g.consumer_cpus);
+  }
+  // Distinct groups use distinct cores.
+  EXPECT_NE(plan[0].producer_cpus, plan[1].producer_cpus);
+}
+
+TEST(Affinity, PlanSiblingHtUsesBothHtsOfOneCore) {
+  const auto topo = rt::cpu_topology::synthetic(1, 4, 2);
+  const auto plan = rt::plan_placement(topo, rt::placement_policy::sibling_ht, 2);
+  for (const auto& g : plan) {
+    ASSERT_EQ(g.producer_cpus.size(), 1u);
+    ASSERT_EQ(g.consumer_cpus.size(), 1u);
+    EXPECT_NE(g.producer_cpus[0], g.consumer_cpus[0]);
+    EXPECT_EQ(topo.core_of(g.producer_cpus[0]), topo.core_of(g.consumer_cpus[0]));
+  }
+}
+
+TEST(Affinity, PlanSiblingHtDegradesWithoutSmt) {
+  const auto topo = rt::cpu_topology::synthetic(1, 4, 1);
+  const auto plan = rt::plan_placement(topo, rt::placement_policy::sibling_ht, 1);
+  EXPECT_EQ(plan[0].producer_cpus, plan[0].consumer_cpus);
+}
+
+TEST(Affinity, PlanOtherCoreSeparatesCoresWhenPossible) {
+  const auto topo = rt::cpu_topology::synthetic(1, 4, 2);
+  const auto plan = rt::plan_placement(topo, rt::placement_policy::other_core, 1);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_NE(topo.core_of(plan[0].producer_cpus[0]),
+            topo.core_of(plan[0].consumer_cpus[0]));
+}
+
+TEST(Affinity, PlanOversubscribesRoundRobin) {
+  const auto topo = rt::cpu_topology::synthetic(1, 2, 2);
+  const auto plan = rt::plan_placement(topo, rt::placement_policy::same_ht, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  // Group 0 and group 2 share core 0 (round robin over 2 cores).
+  EXPECT_EQ(plan[0].producer_cpus, plan[2].producer_cpus);
+  EXPECT_NE(plan[0].producer_cpus, plan[1].producer_cpus);
+}

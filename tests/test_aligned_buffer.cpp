@@ -1,0 +1,72 @@
+#include "ffq/runtime/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace rt = ffq::runtime;
+
+TEST(AlignedBuffer, StorageAlignmentHonored) {
+  rt::aligned_storage_buffer buf(1000, 4096);
+  ASSERT_TRUE(static_cast<bool>(buf));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 4096, 0u);
+  EXPECT_EQ(buf.size_bytes(), 1000u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  rt::aligned_storage_buffer a(64, 64);
+  void* p = a.data();
+  rt::aligned_storage_buffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_FALSE(static_cast<bool>(a));
+  rt::aligned_storage_buffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+TEST(AlignedArray, ConstructsAndIndexes) {
+  rt::aligned_array<int> arr(17);
+  EXPECT_EQ(arr.size(), 17u);
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr[i], 0);  // value-initialized
+    arr[i] = static_cast<int>(i);
+  }
+  EXPECT_EQ(arr[16], 16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr.data()) % rt::kCacheLineSize, 0u);
+}
+
+TEST(AlignedArray, HoldsNonMovableTypes) {
+  rt::aligned_array<std::atomic<std::int64_t>> arr(8);
+  arr[3].store(42);
+  EXPECT_EQ(arr[3].load(), 42);
+}
+
+namespace {
+struct counted {
+  static int live;
+  counted() { ++live; }
+  ~counted() { --live; }
+};
+int counted::live = 0;
+}  // namespace
+
+TEST(AlignedArray, DestroysAllElements) {
+  {
+    rt::aligned_array<counted> arr(25);
+    EXPECT_EQ(counted::live, 25);
+  }
+  EXPECT_EQ(counted::live, 0);
+}
+
+TEST(AlignedArray, MoveAssignDestroysOldContents) {
+  rt::aligned_array<counted> a(5);
+  {
+    rt::aligned_array<counted> b(3);
+    EXPECT_EQ(counted::live, 8);
+    a = std::move(b);
+    EXPECT_EQ(counted::live, 3);
+  }
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(counted::live, 3);
+}

@@ -1,0 +1,32 @@
+#include "ffq/runtime/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt = ffq::runtime;
+
+TEST(Backoff, ExponentialDoublesUpToCap) {
+  rt::exp_backoff bo;
+  EXPECT_EQ(bo.level(), rt::exp_backoff::kMinSpins);
+  bo.pause();
+  EXPECT_EQ(bo.level(), 2u);
+  bo.pause();
+  EXPECT_EQ(bo.level(), 4u);
+  for (int i = 0; i < 32; ++i) bo.pause();
+  EXPECT_EQ(bo.level(), rt::exp_backoff::kMaxSpins);
+}
+
+TEST(Backoff, ResetReturnsToMinimum) {
+  rt::exp_backoff bo;
+  for (int i = 0; i < 5; ++i) bo.pause();
+  ASSERT_GT(bo.level(), rt::exp_backoff::kMinSpins);
+  bo.reset();
+  EXPECT_EQ(bo.level(), rt::exp_backoff::kMinSpins);
+}
+
+TEST(Backoff, ConstBackoffAndRelaxDoNotHang) {
+  rt::const_backoff cb{8};
+  for (int i = 0; i < 100; ++i) cb.pause();
+  rt::relax_for(1000);
+  rt::cpu_relax();
+  SUCCEED();
+}

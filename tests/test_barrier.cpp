@@ -1,0 +1,46 @@
+#include "ffq/runtime/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rt = ffq::runtime;
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+  rt::spin_barrier b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, AllThreadsObserveWorkOfPhaseBeforeBarrier) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  rt::spin_barrier b(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int r = 1; r <= kRounds; ++r) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        b.arrive_and_wait();
+        // After the barrier every thread of round r has incremented.
+        if (counter.load(std::memory_order_relaxed) < r * kThreads) {
+          failed.store(true);
+        }
+        b.arrive_and_wait();  // keep rounds separated
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(SpinBarrier, ReportsParties) {
+  rt::spin_barrier b(3);
+  EXPECT_EQ(b.parties(), 3u);
+}

@@ -1,0 +1,55 @@
+#include "ffq/runtime/cacheline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace rt = ffq::runtime;
+
+TEST(Cacheline, RoundUpToLine) {
+  EXPECT_EQ(rt::round_up_to_line(0), 0u);
+  EXPECT_EQ(rt::round_up_to_line(1), rt::kCacheLineSize);
+  EXPECT_EQ(rt::round_up_to_line(rt::kCacheLineSize), rt::kCacheLineSize);
+  EXPECT_EQ(rt::round_up_to_line(rt::kCacheLineSize + 1), 2 * rt::kCacheLineSize);
+}
+
+TEST(Cacheline, SameCacheLinePredicate) {
+  EXPECT_TRUE(rt::same_cache_line(0, rt::kCacheLineSize - 1));
+  EXPECT_FALSE(rt::same_cache_line(rt::kCacheLineSize - 1, rt::kCacheLineSize));
+  EXPECT_TRUE(rt::same_cache_line(2 * rt::kCacheLineSize, 2 * rt::kCacheLineSize + 8));
+}
+
+TEST(Cacheline, PaddedOccupiesWholeLines) {
+  EXPECT_EQ(sizeof(rt::padded<std::uint8_t>) % rt::kCacheLineSize, 0u);
+  EXPECT_EQ(sizeof(rt::padded<std::uint64_t>), rt::kCacheLineSize);
+  EXPECT_EQ(alignof(rt::padded<std::uint64_t>), rt::kCacheLineSize);
+  struct big {
+    char b[100];
+  };
+  EXPECT_EQ(sizeof(rt::padded<big>) % rt::kCacheLineSize, 0u);
+  EXPECT_GE(sizeof(rt::padded<big>), sizeof(big));
+}
+
+TEST(Cacheline, PaddedNeighborsDoNotShareALine) {
+  rt::padded<std::uint64_t> arr[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&arr[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&arr[1].value);
+  EXPECT_FALSE(rt::same_cache_line(a, b));
+}
+
+TEST(Cacheline, PaddedAccessors) {
+  rt::padded<int> p{41};
+  EXPECT_EQ(*p, 41);
+  *p = 7;
+  EXPECT_EQ(p.value, 7);
+  const rt::padded<int>& cp = p;
+  EXPECT_EQ(*cp, 7);
+}
+
+TEST(Cacheline, PaddedInPlaceConstructsAtomics) {
+  rt::padded<std::atomic<int>> a{5};
+  EXPECT_EQ(a->load(), 5);
+  a->store(9);
+  EXPECT_EQ(a->load(), 9);
+}

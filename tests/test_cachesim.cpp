@@ -1,0 +1,226 @@
+// Tests for the cache simulator: single-cache behaviour, hierarchy
+// coherence, and the queue-trace replay's qualitative properties (the
+// ones Figs. 4–5 rely on).
+#include <gtest/gtest.h>
+
+#include "ffq/cachesim/cache.hpp"
+#include "ffq/cachesim/hierarchy.hpp"
+#include "ffq/cachesim/queue_trace.hpp"
+
+using namespace ffq::cachesim;
+
+// ---------------------------------------------------------------------------
+// set_assoc_cache
+// ---------------------------------------------------------------------------
+
+TEST(Cache, GeometryValidation) {
+  const cache_geometry l1{32 * 1024, 8, 64};
+  EXPECT_TRUE(l1.valid());
+  EXPECT_EQ(l1.num_sets(), 64u);
+  const cache_geometry bad{1000, 3, 64};
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(Cache, MissThenHit) {
+  set_assoc_cache c({1024, 2, 64});  // 8 sets × 2 ways
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63)) << "same line";
+  EXPECT_FALSE(c.access(64)) << "next line";
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  set_assoc_cache c({1024, 2, 64});  // 8 sets; lines map to set (line % 8)
+  // Three lines in set 0: lines 0, 8, 16 (addresses 0, 512, 1024).
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(512));
+  EXPECT_TRUE(c.access(0));  // line 0 now MRU
+  std::uint64_t evicted = 0;
+  EXPECT_FALSE(c.access(1024, &evicted));
+  EXPECT_EQ(evicted, 8u) << "line 8 (addr 512) was LRU";
+  EXPECT_TRUE(c.access(0)) << "line 0 must have survived";
+  EXPECT_FALSE(c.access(512)) << "line 8 was evicted";
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  set_assoc_cache c({1024, 2, 64});
+  c.access(128);
+  ASSERT_TRUE(c.contains(128));
+  EXPECT_TRUE(c.invalidate_line(128 / 64));
+  EXPECT_FALSE(c.contains(128));
+  EXPECT_FALSE(c.invalidate_line(128 / 64)) << "already gone";
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, CapacityIsRespected) {
+  set_assoc_cache c({4096, 4, 64});  // 64 lines total
+  for (std::uint64_t i = 0; i < 64; ++i) c.access(i * 64);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(c.access(i * 64)) << "fits exactly";
+  }
+  // One more distinct line forces an eviction somewhere.
+  c.access(64 * 64);
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// cache_hierarchy
+// ---------------------------------------------------------------------------
+
+namespace {
+hierarchy_config small_hw() {
+  hierarchy_config cfg;
+  cfg.domains = 2;
+  cfg.l1 = {1024, 2, 64};
+  cfg.l2 = {4096, 4, 64};
+  cfg.l3 = {16384, 8, 64};
+  return cfg;
+}
+}  // namespace
+
+TEST(Hierarchy, MissFillsAllLevels) {
+  cache_hierarchy hw(small_hw());
+  EXPECT_EQ(hw.read(0, 0), hit_level::memory);
+  EXPECT_EQ(hw.read(0, 0), hit_level::l1);
+  EXPECT_EQ(hw.memory_lines(), 1u);
+}
+
+TEST(Hierarchy, SecondDomainHitsSharedL3) {
+  cache_hierarchy hw(small_hw());
+  hw.read(0, 0);                            // fills L1(0), L2(0), L3
+  EXPECT_EQ(hw.read(1, 0), hit_level::l3);  // private miss, shared hit
+  EXPECT_EQ(hw.memory_lines(), 1u);
+}
+
+TEST(Hierarchy, WriteInvalidatesOtherDomains) {
+  cache_hierarchy hw(small_hw());
+  hw.read(0, 0);
+  hw.read(1, 0);
+  ASSERT_EQ(hw.coherence_invalidations(), 0u);
+  hw.write(1, 0);  // invalidates domain 0's copies
+  EXPECT_GE(hw.coherence_invalidations(), 1u);
+  EXPECT_EQ(hw.read(0, 0), hit_level::l3) << "domain 0 lost its private copy";
+}
+
+TEST(Hierarchy, SameDomainWriteDoesNotSelfInvalidate) {
+  cache_hierarchy hw(small_hw());
+  hw.read(0, 0);
+  hw.write(0, 0);
+  EXPECT_EQ(hw.coherence_invalidations(), 0u);
+  EXPECT_EQ(hw.read(0, 0), hit_level::l1);
+}
+
+TEST(Hierarchy, ResetClearsCounters) {
+  cache_hierarchy hw(small_hw());
+  hw.read(0, 0);
+  hw.reset_stats();
+  EXPECT_EQ(hw.l1_total().misses, 0u);
+  EXPECT_EQ(hw.memory_lines(), 0u);
+  EXPECT_EQ(hw.read(0, 0), hit_level::l1) << "contents survive a stats reset";
+}
+
+// ---------------------------------------------------------------------------
+// queue_trace — the qualitative shapes Figs. 4–5 depend on.
+// ---------------------------------------------------------------------------
+
+namespace {
+queue_trace_config base_cfg(std::size_t entries) {
+  queue_trace_config cfg;
+  cfg.queue_entries = entries;
+  cfg.items = 200000;
+  cfg.cell_bytes = 64;
+  return cfg;
+}
+}  // namespace
+
+TEST(QueueTrace, SharedDomainHasHigherPrivateHitRatioThanSplit) {
+  // Producer and consumer on one core (same/sibling HT): no coherence
+  // invalidations, cells bounce within one L1/L2. Ring sized to fit L1
+  // (2^8 cells × 64 B = 16 KB) so the locality difference shows at L1;
+  // larger rings shift the same effect to L2 (covered below).
+  auto shared_cfg = base_cfg(1 << 8);
+  shared_cfg.shared_domain = true;
+  const auto shared_res = simulate_queue_trace(shared_cfg);
+
+  auto split_cfg = base_cfg(1 << 8);
+  split_cfg.shared_domain = false;
+  const auto split_res = simulate_queue_trace(split_cfg);
+
+  EXPECT_EQ(shared_res.coherence_invalidations, 0u);
+  EXPECT_GT(split_res.coherence_invalidations, 0u);
+  EXPECT_GT(shared_res.l1_hit_ratio, split_res.l1_hit_ratio);
+  EXPECT_GT(shared_res.ipc_proxy, split_res.ipc_proxy);
+
+  // Same comparison one level up: a ring that spills L1 but fits L2
+  // (2^10 cells × 64 B = 64 KB) gives the shared domain its advantage in
+  // the private L2 instead.
+  auto shared_l2 = base_cfg(1 << 10);
+  shared_l2.shared_domain = true;
+  auto split_l2 = base_cfg(1 << 10);
+  split_l2.shared_domain = false;
+  EXPECT_GT(simulate_queue_trace(shared_l2).l2_hit_ratio,
+            simulate_queue_trace(split_l2).l2_hit_ratio);
+}
+
+TEST(QueueTrace, L3HitRatioCollapsesWhenQueueExceedsL3) {
+  // Paper Fig. 5: "if the queue size does not fit in L3 cache anymore,
+  // the L3 hit ratio drops and cache misses increase".
+  auto fits = base_cfg(1 << 10);  // 64 KB of cells — fits 8 MB L3 easily
+  const auto small_res = simulate_queue_trace(fits);
+
+  auto spills = base_cfg(1 << 19);  // 32 MB of cells — 4× the L3
+  spills.items = 1 << 20;           // enough traffic to cycle the ring
+  const auto big_res = simulate_queue_trace(spills);
+
+  EXPECT_GT(small_res.l3_hit_ratio + 1e-9, big_res.l3_hit_ratio);
+  EXPECT_GT(big_res.memory_bytes, small_res.memory_bytes);
+  EXPECT_GT(big_res.cycles_per_pair, small_res.cycles_per_pair);
+}
+
+TEST(QueueTrace, MemoryTrafficGrowsWithQueueSize) {
+  std::uint64_t prev = 0;
+  for (std::size_t entries : {1u << 12, 1u << 16, 1u << 19}) {
+    auto cfg = base_cfg(entries);
+    cfg.items = 1 << 19;
+    const auto r = simulate_queue_trace(cfg);
+    EXPECT_GE(r.memory_bytes + (1 << 12), prev)
+        << "bandwidth must not shrink as the working set grows";
+    prev = r.memory_bytes;
+  }
+}
+
+TEST(QueueTrace, CompactCellsUseLessMemoryTrafficWhenSpilling) {
+  // 24-byte cells pack ~2.6 cells per line: when the ring spills past
+  // the caches, compact layout moves fewer bytes (the §V-B observation
+  // that "we need less space in the cache for the cells without
+  // alignment").
+  auto aligned = base_cfg(1 << 19);
+  aligned.items = 1 << 20;
+  auto compact = aligned;
+  compact.cell_bytes = 24;
+  const auto ra = simulate_queue_trace(aligned);
+  const auto rc = simulate_queue_trace(compact);
+  EXPECT_LT(rc.memory_bytes, ra.memory_bytes);
+}
+
+TEST(QueueTrace, RandomizedIndexingIsAPermutationOfTraffic) {
+  // Randomization must not change the number of accesses, only their
+  // placement; with one thread per side and large cells it behaves
+  // nearly identically in the model.
+  auto plain = base_cfg(1 << 12);
+  auto rnd = base_cfg(1 << 12);
+  rnd.randomized_index = true;
+  const auto rp = simulate_queue_trace(plain);
+  const auto rr = simulate_queue_trace(rnd);
+  EXPECT_NEAR(rp.l2_hit_ratio, rr.l2_hit_ratio, 0.1);
+}
+
+TEST(QueueTrace, LagCapsAtQueueSize) {
+  auto cfg = base_cfg(1 << 4);
+  cfg.lag = 1 << 20;  // absurd request: must clamp, not crash
+  cfg.items = 10000;
+  const auto r = simulate_queue_trace(cfg);
+  EXPECT_GT(r.l1_hit_ratio, 0.0);
+}

@@ -1,0 +1,80 @@
+#include "ffq/runtime/dwcas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rt = ffq::runtime;
+
+TEST(Dwcas, SizeAndAlignment) {
+  static_assert(sizeof(rt::atomic_u64_pair) == 16);
+  static_assert(alignof(rt::atomic_u64_pair) == 16);
+  static_assert(sizeof(rt::atomic_i64_pair) == 16);
+}
+
+TEST(Dwcas, SuccessUpdatesBothWords) {
+  rt::atomic_u64_pair p;
+  p.lo.store(1);
+  p.hi.store(2);
+  rt::atomic_u64_pair::value_type expected{1, 2};
+  EXPECT_TRUE(p.compare_exchange(expected, {10, 20}));
+  EXPECT_EQ(p.lo.load(), 10u);
+  EXPECT_EQ(p.hi.load(), 20u);
+}
+
+TEST(Dwcas, FailureLoadsObservedValue) {
+  rt::atomic_u64_pair p;
+  p.lo.store(5);
+  p.hi.store(6);
+  rt::atomic_u64_pair::value_type expected{1, 2};
+  EXPECT_FALSE(p.compare_exchange(expected, {10, 20}));
+  EXPECT_EQ(expected.lo, 5u);
+  EXPECT_EQ(expected.hi, 6u);
+  EXPECT_EQ(p.lo.load(), 5u);
+}
+
+TEST(Dwcas, MismatchOnEitherWordFails) {
+  rt::atomic_i64_pair p;
+  p.first.store(-1);
+  p.second.store(7);
+  rt::atomic_i64_pair::value_type exp1{-1, 8};  // second wrong
+  EXPECT_FALSE(p.compare_exchange(exp1, {-2, 8}));
+  rt::atomic_i64_pair::value_type exp2{0, 7};  // first wrong
+  EXPECT_FALSE(p.compare_exchange(exp2, {-2, 7}));
+  rt::atomic_i64_pair::value_type exp3{-1, 7};  // both right
+  EXPECT_TRUE(p.compare_exchange(exp3, {-2, 7}));
+  EXPECT_EQ(p.first.load(), -2);
+}
+
+TEST(Dwcas, LoadPairIsConsistentSnapshot) {
+  rt::atomic_i64_pair p;
+  p.first.store(3);
+  p.second.store(4);
+  const auto v = p.load_pair();
+  EXPECT_EQ(v.first, 3);
+  EXPECT_EQ(v.second, 4);
+}
+
+// Concurrent counter pair: each thread increments (lo, hi) together via
+// DWCAS; the invariant hi == lo must never break.
+TEST(Dwcas, ConcurrentPairIncrementsStayCoupled) {
+  rt::atomic_u64_pair p;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&p] {
+      for (int i = 0; i < kIters; ++i) {
+        auto cur = p.load_pair();
+        while (!p.compare_exchange(cur, {cur.lo + 1, cur.hi + 1})) {
+          // cur refreshed by the failed CAS
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const auto v = p.load_pair();
+  EXPECT_EQ(v.lo, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(v.hi, v.lo);
+}

@@ -1,0 +1,121 @@
+// Tests for the futex-backed event count.
+#include "ffq/runtime/eventcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rt = ffq::runtime;
+
+TEST(Eventcount, CancelWaitLeavesNoWaiters) {
+  rt::eventcount ec;
+  auto key = ec.prepare_wait();
+  (void)key;
+  EXPECT_EQ(ec.approx_waiters(), 1u);
+  ec.cancel_wait();
+  EXPECT_EQ(ec.approx_waiters(), 0u);
+}
+
+TEST(Eventcount, NotifyWithoutWaitersIsCheap) {
+  rt::eventcount ec;
+  // Must not crash, must not accumulate state that breaks later waits.
+  for (int i = 0; i < 100; ++i) ec.notify_one();
+  ec.notify_all();
+  SUCCEED();
+}
+
+TEST(Eventcount, StaleKeyReturnsImmediately) {
+  rt::eventcount ec;
+  const auto key = ec.prepare_wait();
+  // A notify between prepare and wait invalidates the key; wait() must
+  // not block. (Notify observes waiters_ == 1 and bumps the epoch.)
+  ec.notify_one();
+  const auto t0 = std::chrono::steady_clock::now();
+  ec.wait(key);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration<double>(dt).count(), 1.0);
+  EXPECT_EQ(ec.approx_waiters(), 0u);
+}
+
+TEST(Eventcount, WakesParkedThread) {
+  rt::eventcount ec;
+  std::atomic<bool> data{false};
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    for (;;) {
+      const auto key = ec.prepare_wait();
+      if (data.load(std::memory_order_acquire)) {
+        ec.cancel_wait();
+        break;
+      }
+      ec.wait(key);
+    }
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(woke.load());
+  data.store(true, std::memory_order_release);
+  ec.notify_one();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Eventcount, NotifyAllWakesEveryone) {
+  rt::eventcount ec;
+  constexpr int kWaiters = 4;
+  std::atomic<bool> go{false};
+  std::atomic<int> awake{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kWaiters; ++i) {
+    ts.emplace_back([&] {
+      for (;;) {
+        const auto key = ec.prepare_wait();
+        if (go.load(std::memory_order_acquire)) {
+          ec.cancel_wait();
+          break;
+        }
+        ec.wait(key);
+      }
+      awake.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  go.store(true, std::memory_order_release);
+  ec.notify_all();
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(awake.load(), kWaiters);
+}
+
+TEST(Eventcount, ProducerConsumerHandoffLoop) {
+  // The canonical usage pattern under churn: no lost wake-ups allowed.
+  rt::eventcount ec;
+  std::atomic<int> available{0};
+  constexpr int kItems = 20000;
+  std::thread consumer([&] {
+    int got = 0;
+    while (got < kItems) {
+      int cur = available.load(std::memory_order_acquire);
+      if (cur > 0 &&
+          available.compare_exchange_strong(cur, cur - 1,
+                                            std::memory_order_acq_rel)) {
+        ++got;
+        continue;
+      }
+      const auto key = ec.prepare_wait();
+      if (available.load(std::memory_order_acquire) > 0) {
+        ec.cancel_wait();
+        continue;
+      }
+      ec.wait(key);
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    available.fetch_add(1, std::memory_order_acq_rel);
+    ec.notify_one();
+  }
+  consumer.join();
+  EXPECT_EQ(available.load(), 0);
+}

@@ -1,0 +1,191 @@
+// Tests for the benchmark harness: stats, tables, CLI parsing, the
+// pairwise driver, and the §V-A SPMC micro-benchmark (integration-level:
+// these spin up real queues and threads and validate that the harness
+// terminates and reports sane numbers).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ffq/harness/driver.hpp"
+#include "ffq/harness/pairwise.hpp"
+#include "ffq/harness/report.hpp"
+#include "ffq/harness/spmc_bench.hpp"
+#include "ffq/harness/stats.hpp"
+
+using namespace ffq::harness;
+
+TEST(Stats, SummarizeBasics) {
+  auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+  EXPECT_EQ(s.runs, 4u);
+}
+
+TEST(Stats, SummarizeSingleAndEmpty) {
+  auto one = summarize({7.0});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  auto none = summarize({});
+  EXPECT_EQ(none.runs, 0u);
+}
+
+TEST(Stats, HumanRate) {
+  EXPECT_EQ(human_rate(1.25e9), "1.25G");
+  EXPECT_EQ(human_rate(3.5e6), "3.50M");
+  EXPECT_EQ(human_rate(9.0e3), "9.00k");
+  EXPECT_EQ(human_rate(12.0), "12.00");
+}
+
+TEST(Report, TableAlignsAndCountsRows) {
+  table t({"queue", "threads", "Mops"});
+  t.add_row({"ffq", "1", "120.5"});
+  t.add_row({"msqueue", "8", "3.2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("ffq"), std::string::npos);
+  EXPECT_NE(s.find("msqueue"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, CsvRoundTrip) {
+  table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path = "/tmp/ffq_test_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Report, CliParsing) {
+  const char* argv[] = {"bench", "--csv", "/tmp/x.csv", "--runs", "5",
+                        "--scale", "0.5"};
+  auto cli = bench_cli::parse(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.csv_path, "/tmp/x.csv");
+  EXPECT_EQ(cli.runs, 5);
+  EXPECT_DOUBLE_EQ(cli.scale, 0.5);
+  const char* argv2[] = {"bench", "--quick"};
+  auto quick = bench_cli::parse(2, const_cast<char**>(argv2));
+  EXPECT_LE(quick.runs, 3);
+  EXPECT_LT(quick.scale, 1.0);
+}
+
+TEST(Driver, ThinkOverheadIsNearTheRequestedMean) {
+  const double ns = measure_think_overhead_ns(50, 150, 5000);
+  // Mean request is 100 ns; allow generous slack for draw overhead and
+  // container noise, but it must be the right order of magnitude.
+  EXPECT_GT(ns, 60.0);
+  EXPECT_LT(ns, 2000.0);
+}
+
+// --- pairwise driver over a few representative adapters --------------------
+
+template <typename Adapter>
+void smoke_pairwise(int threads) {
+  pairwise_config cfg;
+  cfg.threads = threads;
+  cfg.total_pairs = 20000;
+  cfg.think_min_ns = 0;  // fast test
+  cfg.params.capacity = 1 << 10;
+  const double ops = run_pairwise_once<Adapter>(cfg);
+  EXPECT_GT(ops, 1000.0) << "implausibly slow — likely a stall";
+}
+
+TEST(Pairwise, FfqMpmcSingleThread) { smoke_pairwise<ffq_mpmc_adapter<>>(1); }
+TEST(Pairwise, FfqMpmcFourThreads) { smoke_pairwise<ffq_mpmc_adapter<>>(4); }
+TEST(Pairwise, FfqSpscSingleThread) { smoke_pairwise<ffq_spsc_adapter<>>(1); }
+TEST(Pairwise, MsQueueTwoThreads) { smoke_pairwise<ms_adapter>(2); }
+TEST(Pairwise, CcQueueTwoThreads) { smoke_pairwise<cc_adapter>(2); }
+TEST(Pairwise, LcrqTwoThreads) { smoke_pairwise<lcrq_adapter>(2); }
+TEST(Pairwise, WfQueueTwoThreads) { smoke_pairwise<wf_adapter>(2); }
+TEST(Pairwise, VyukovTwoThreads) { smoke_pairwise<vyukov_adapter>(2); }
+TEST(Pairwise, HtmTwoThreads) { smoke_pairwise<htm_adapter>(2); }
+
+TEST(Pairwise, WithThinkTimeStillTerminates) {
+  pairwise_config cfg;
+  cfg.threads = 2;
+  cfg.total_pairs = 5000;
+  cfg.think_min_ns = 50;
+  cfg.think_max_ns = 150;
+  const double ops = run_pairwise_once<ffq_mpmc_adapter<>>(cfg);
+  EXPECT_GT(ops, 100.0);
+}
+
+TEST(Pairwise, MultiRunSummary) {
+  pairwise_config cfg;
+  cfg.threads = 2;
+  cfg.total_pairs = 10000;
+  cfg.think_min_ns = 0;
+  auto stats = run_pairwise<ffq_mpmc_adapter<>>(cfg, 3);
+  EXPECT_EQ(stats.runs, 3u);
+  EXPECT_GT(stats.mean, 0.0);
+  EXPECT_GE(stats.max, stats.min);
+}
+
+// --- §V-A SPMC micro-benchmark ---------------------------------------------
+
+TEST(SpmcBench, SingleGroupSingleConsumer) {
+  spmc_bench_config cfg;
+  cfg.items_per_producer = 20000;
+  cfg.submission_capacity = 1 << 10;
+  cfg.response_capacity = 1 << 10;
+  const double rt = run_spmc_bench_once<
+      ffq::core::spmc_queue<std::uint64_t, ffq::core::layout_aligned>,
+      ffq::core::layout_aligned>(cfg);
+  EXPECT_GT(rt, 1000.0);
+}
+
+TEST(SpmcBench, FanOutFourConsumers) {
+  spmc_bench_config cfg;
+  cfg.consumers_per_group = 4;
+  cfg.items_per_producer = 10000;
+  const double rt = run_spmc_bench_once<
+      ffq::core::spmc_queue<std::uint64_t, ffq::core::layout_aligned>,
+      ffq::core::layout_aligned>(cfg);
+  EXPECT_GT(rt, 100.0);
+}
+
+TEST(SpmcBench, MpmcVariantAndTwoGroups) {
+  spmc_bench_config cfg;
+  cfg.groups = 2;
+  cfg.consumers_per_group = 2;
+  cfg.items_per_producer = 10000;
+  const double rt = run_spmc_bench_once<
+      ffq::core::mpmc_queue<std::uint64_t, ffq::core::layout_compact>,
+      ffq::core::layout_compact>(cfg);
+  EXPECT_GT(rt, 100.0);
+}
+
+TEST(SpmcBench, AffinityPoliciesAllTerminate) {
+  using ffq::runtime::placement_policy;
+  for (auto policy : {placement_policy::same_ht, placement_policy::sibling_ht,
+                      placement_policy::other_core, placement_policy::none}) {
+    spmc_bench_config cfg;
+    cfg.items_per_producer = 5000;
+    cfg.policy = policy;
+    const double rt = run_spmc_bench_once<
+        ffq::core::spmc_queue<std::uint64_t, ffq::core::layout_aligned>,
+        ffq::core::layout_aligned>(cfg);
+    EXPECT_GT(rt, 100.0) << ffq::runtime::to_string(policy);
+  }
+}
+
+TEST(SpmcBench, TinyQueuesExerciseFlowControl) {
+  spmc_bench_config cfg;
+  cfg.submission_capacity = 4;
+  cfg.response_capacity = 4;
+  cfg.consumers_per_group = 2;
+  cfg.items_per_producer = 5000;
+  const double rt = run_spmc_bench_once<
+      ffq::core::spmc_queue<std::uint64_t, ffq::core::layout_aligned>,
+      ffq::core::layout_aligned>(cfg);
+  EXPECT_GT(rt, 10.0);
+}

@@ -1,0 +1,139 @@
+#include "ffq/runtime/hazard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rt = ffq::runtime;
+
+namespace {
+struct tracked {
+  static std::atomic<int> live;
+  int payload = 0;
+  explicit tracked(int p = 0) : payload(p) { live.fetch_add(1); }
+  ~tracked() { live.fetch_sub(1); }
+};
+std::atomic<int> tracked::live{0};
+}  // namespace
+
+TEST(Hazard, RetireWithoutHazardIsFreedOnFlush) {
+  rt::hazard_domain dom;
+  rt::hazard_thread ht(dom);
+  auto* p = new tracked(1);
+  ht->retire(p);
+  dom.flush(*ht);
+  EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(Hazard, ProtectedPointerSurvivesScan) {
+  rt::hazard_domain dom;
+  rt::hazard_thread ht(dom);
+  auto* p = new tracked(2);
+  std::atomic<tracked*> src{p};
+  tracked* got = ht->protect(0, src);
+  EXPECT_EQ(got, p);
+  ht->retire(p);
+  dom.flush(*ht);
+  EXPECT_EQ(tracked::live.load(), 1) << "protected object must not be freed";
+  ht->clear(0);
+  dom.flush(*ht);
+  EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(Hazard, ProtectFollowsConcurrentChange) {
+  rt::hazard_domain dom;
+  rt::hazard_thread ht(dom);
+  auto* a = new tracked(1);
+  auto* b = new tracked(2);
+  std::atomic<tracked*> src{a};
+  // Single-threaded sanity: protect returns whatever is current.
+  EXPECT_EQ(ht->protect(0, src), a);
+  src.store(b);
+  EXPECT_EQ(ht->protect(1, src), b);
+  ht->clear_all();
+  ht->retire(a);
+  ht->retire(b);
+  dom.flush(*ht);
+  EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(Hazard, ThresholdTriggersAutomaticScan) {
+  rt::hazard_domain dom;
+  rt::hazard_thread ht(dom);
+  for (std::size_t i = 0; i < rt::hazard_domain::kRetireThreshold + 5; ++i) {
+    ht->retire(new tracked(static_cast<int>(i)));
+  }
+  // The threshold scan must have freed (at least) the first batch.
+  EXPECT_LT(tracked::live.load(),
+            static_cast<int>(rt::hazard_domain::kRetireThreshold));
+  dom.flush(*ht);
+  EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(Hazard, RecordsAreRecycledAcrossThreads) {
+  rt::hazard_domain dom;
+  std::size_t first_hwm = 0;
+  std::thread t1([&] {
+    rt::hazard_thread ht(dom);
+    first_hwm = dom.attached_upper_bound();
+  });
+  t1.join();
+  std::thread t2([&] {
+    rt::hazard_thread ht(dom);
+    // The released record must be reused, not a fresh one claimed.
+    EXPECT_EQ(dom.attached_upper_bound(), first_hwm);
+  });
+  t2.join();
+}
+
+// Stress: producer publishes nodes, consumers protect-and-read while the
+// producer retires replaced nodes. ASAN (or a crash) would flag
+// use-after-free; the assertion checks payload integrity.
+TEST(Hazard, ConcurrentProtectRetireStress) {
+  rt::hazard_domain dom;
+  std::atomic<tracked*> shared{new tracked(0)};
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      rt::hazard_thread ht(dom);
+      while (!stop.load(std::memory_order_acquire)) {
+        tracked* p = ht->protect(0, shared);
+        if (p->payload < 0) bad.fetch_add(1);
+        ht->clear(0);
+      }
+    });
+  }
+  {
+    rt::hazard_thread ht(dom);
+    for (int i = 1; i <= 3000; ++i) {
+      auto* fresh = new tracked(i);
+      tracked* old = shared.exchange(fresh);
+      ht->retire(old);
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& t : readers) t.join();
+    ht->retire(shared.load());
+    dom.flush(*ht);
+  }
+  EXPECT_EQ(bad.load(), 0);
+  // Everything reclaimable is reclaimed; the domain destructor drains the
+  // rest (checked implicitly by tracked::live below).
+}
+
+TEST(Hazard, DomainDestructorDrainsRetireLists) {
+  {
+    rt::hazard_domain dom;
+    rt::hazard_thread ht(dom);
+    auto* p = new tracked(7);
+    std::atomic<tracked*> src{p};
+    ht->protect(0, src);
+    ht->retire(p);
+    // Still protected — flush would keep it; destructor must free anyway.
+  }
+  EXPECT_EQ(tracked::live.load(), 0);
+}

@@ -1,0 +1,60 @@
+#include "ffq/runtime/htm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rt = ffq::runtime;
+
+TEST(Htm, LockBasics) {
+  rt::htm_lock lk;
+  EXPECT_FALSE(lk.is_locked());
+  lk.lock();
+  EXPECT_TRUE(lk.is_locked());
+  lk.unlock();
+  EXPECT_FALSE(lk.is_locked());
+}
+
+TEST(Htm, SingleThreadTransactionCommits) {
+  rt::htm_lock lk;
+  rt::htm_context ctx(/*seed=*/1);
+  int x = 0;
+  ctx.run(lk, [&] { x = 42; });
+  EXPECT_EQ(x, 42);
+  EXPECT_EQ(ctx.stats().attempts, 1u);
+  EXPECT_EQ(ctx.stats().commits + ctx.stats().fallbacks, 1u);
+  EXPECT_FALSE(lk.is_locked()) << "lock must be released after the region";
+}
+
+TEST(Htm, ConcurrentCountersAreExact) {
+  rt::htm_lock lk;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  long counter = 0;  // plain! protected only by the transactional region
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      rt::htm_context ctx(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        ctx.run(lk, [&] { ++counter; });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Htm, StatsAccumulate) {
+  rt::htm_lock lk;
+  rt::htm_context ctx(3);
+  for (int i = 0; i < 100; ++i) ctx.run(lk, [] {});
+  EXPECT_EQ(ctx.stats().attempts, 100u);
+  EXPECT_EQ(ctx.stats().commits + ctx.stats().fallbacks, 100u);
+}
+
+TEST(Htm, HardwareReportAvailableIsStable) {
+  const bool a = rt::htm_hardware_available();
+  const bool b = rt::htm_hardware_available();
+  EXPECT_EQ(a, b);
+}

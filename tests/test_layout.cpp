@@ -1,0 +1,100 @@
+#include "ffq/core/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ffq/runtime/cacheline.hpp"
+
+using namespace ffq::core;
+
+TEST(Layout, RotateIndexIsAPermutation) {
+  for (unsigned bits : {5u, 10u, 16u}) {
+    const std::size_t n = std::size_t{1} << bits;
+    std::set<std::size_t> seen;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto m = rotate_index(i, bits, 4);
+      ASSERT_LT(m, n);
+      seen.insert(m);
+    }
+    EXPECT_EQ(seen.size(), n) << "bits=" << bits;
+  }
+}
+
+TEST(Layout, RotateIdentityWhenTooFewBits) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(rotate_index(i, 4, 4), i);
+    EXPECT_EQ(rotate_index(i, 3, 4), i);
+  }
+}
+
+TEST(Layout, RandomizedPlacesConsecutiveSlotsSixteenApart) {
+  // Paper §IV-A: "we rotate the bits of the index by 4, effectively
+  // placing two consecutive cells 16 positions apart in memory".
+  constexpr unsigned bits = 10;
+  for (std::size_t i = 0; i + 1 < (1u << (bits - 4)); ++i) {
+    const auto a = layout_randomized::map(i, bits);
+    const auto b = layout_randomized::map(i + 1, bits);
+    EXPECT_EQ(b - a, 16u) << "i=" << i;
+  }
+}
+
+TEST(Layout, PoliciesDeclareAlignment) {
+  EXPECT_FALSE(layout_compact::kCacheAligned);
+  EXPECT_TRUE(layout_aligned::kCacheAligned);
+  EXPECT_FALSE(layout_randomized::kCacheAligned);
+  EXPECT_TRUE(layout_aligned_randomized::kCacheAligned);
+}
+
+TEST(Layout, IdentityPoliciesMapToSelf) {
+  for (std::size_t i : {0u, 1u, 17u, 1023u}) {
+    EXPECT_EQ(layout_compact::map(i, 10), i);
+    EXPECT_EQ(layout_aligned::map(i, 10), i);
+  }
+}
+
+TEST(CapacityInfo, ValidatesPowersOfTwo) {
+  EXPECT_TRUE(capacity_info::valid(2));
+  EXPECT_TRUE(capacity_info::valid(64));
+  EXPECT_TRUE(capacity_info::valid(1 << 20));
+  EXPECT_FALSE(capacity_info::valid(0));
+  EXPECT_FALSE(capacity_info::valid(1));
+  EXPECT_FALSE(capacity_info::valid(3));
+  EXPECT_FALSE(capacity_info::valid(100));
+}
+
+TEST(CapacityInfo, SlotWrapsModuloCapacity) {
+  capacity_info cap(64);
+  EXPECT_EQ(cap.size(), 64u);
+  EXPECT_EQ(cap.mask(), 63u);
+  EXPECT_EQ(cap.log2(), 6u);
+  EXPECT_EQ(cap.slot<layout_compact>(0), 0u);
+  EXPECT_EQ(cap.slot<layout_compact>(64), 0u);
+  EXPECT_EQ(cap.slot<layout_compact>(65), 1u);
+  EXPECT_EQ(cap.slot<layout_compact>(130), 2u);
+}
+
+TEST(CapacityInfo, RandomizedSlotStaysInRangeAndIsBijective) {
+  capacity_info cap(256);
+  std::set<std::size_t> seen;
+  for (std::int64_t r = 0; r < 256; ++r) {
+    const auto s = cap.slot<layout_randomized>(r);
+    ASSERT_LT(s, 256u);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  // Wrap-around hits the same physical slots again.
+  EXPECT_EQ(cap.slot<layout_randomized>(256), cap.slot<layout_randomized>(0));
+}
+
+TEST(CapacityInfo, RandomizedNeighborsInDistinctCacheLines) {
+  // With 24-byte compact cells, slots 16 apart are >= 384 bytes apart —
+  // always distinct lines. Verify the distance claim at the slot level.
+  capacity_info cap(1024);
+  const auto s0 = cap.slot<layout_randomized>(100);
+  const auto s1 = cap.slot<layout_randomized>(101);
+  constexpr std::size_t kCellBytes = 24;
+  EXPECT_GE((s1 > s0 ? s1 - s0 : s0 - s1) * kCellBytes,
+            ffq::runtime::kCacheLineSize);
+}

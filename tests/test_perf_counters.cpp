@@ -1,0 +1,51 @@
+// Tests for the perf_event wrapper. PMU access is usually denied in
+// containers; both the available and unavailable paths must be safe.
+#include "ffq/runtime/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt = ffq::runtime;
+
+TEST(PerfCounters, KindNamesAreStable) {
+  EXPECT_STREQ(rt::to_string(rt::perf_event_kind::cycles), "cycles");
+  EXPECT_STREQ(rt::to_string(rt::perf_event_kind::instructions), "instructions");
+  EXPECT_STREQ(rt::to_string(rt::perf_event_kind::cache_misses), "cache-misses");
+}
+
+TEST(PerfCounters, UnavailableGroupIsInert) {
+  rt::perf_counter_group g({rt::perf_event_kind::cycles});
+  if (g.available()) {
+    GTEST_SKIP() << "PMU available here; covered by the Available test";
+  }
+  EXPECT_FALSE(g.error().empty());
+  g.start();  // all no-ops, must not crash
+  g.stop();
+  EXPECT_TRUE(g.read_all().empty());
+  EXPECT_EQ(g.value(rt::perf_event_kind::cycles), 0u);
+}
+
+TEST(PerfCounters, AvailableGroupCountsSomething) {
+  rt::perf_counter_group g(
+      {rt::perf_event_kind::cycles, rt::perf_event_kind::instructions});
+  if (!g.available()) {
+    GTEST_SKIP() << "PMU unavailable: " << g.error();
+  }
+  g.start();
+  volatile std::uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + static_cast<std::uint64_t>(i);
+  g.stop();
+  EXPECT_GT(g.value(rt::perf_event_kind::instructions), 100000u);
+}
+
+TEST(PerfCounters, MoveTransfersOwnership) {
+  rt::perf_counter_group a({rt::perf_event_kind::cycles});
+  rt::perf_counter_group b(std::move(a));
+  EXPECT_FALSE(a.available());
+  rt::perf_counter_group c({rt::perf_event_kind::instructions});
+  c = std::move(b);
+  SUCCEED();  // destructors must not double-close fds
+}
+
+TEST(PerfCounters, CapabilitySummaryIsNonEmpty) {
+  EXPECT_FALSE(rt::perf_capability_summary().empty());
+}

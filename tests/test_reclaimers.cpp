@@ -1,0 +1,84 @@
+// Tests for the reclaimer policies through the MS queue: the same
+// battery must pass under hazard pointers and under epochs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ffq/baselines/ms_queue.hpp"
+#include "ffq/baselines/reclaimers.hpp"
+
+using namespace ffq::baselines;
+
+template <typename R>
+class MsQueueReclaimer : public ::testing::Test {};
+
+using Policies = ::testing::Types<hazard_reclaimer, epoch_reclaimer>;
+TYPED_TEST_SUITE(MsQueueReclaimer, Policies);
+
+TYPED_TEST(MsQueueReclaimer, SingleThreadFifo) {
+  ms_queue<std::uint64_t, TypeParam> q;
+  std::uint64_t out;
+  EXPECT_FALSE(q.try_dequeue(out));
+  for (std::uint64_t i = 1; i <= 200; ++i) q.enqueue(i);
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(q.try_dequeue(out));
+    ASSERT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_dequeue(out));
+}
+
+TYPED_TEST(MsQueueReclaimer, ConcurrentConservation) {
+  ms_queue<std::uint64_t, TypeParam> q;
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr std::uint64_t kPer = 30000;
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<int> done{0};
+
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        q.enqueue(static_cast<std::uint64_t>(p) * kPer + i + 1);
+      }
+      done.fetch_add(1);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    ts.emplace_back([&] {
+      std::uint64_t out;
+      for (;;) {
+        if (q.try_dequeue(out)) {
+          sum.fetch_add(out, std::memory_order_relaxed);
+          count.fetch_add(1, std::memory_order_relaxed);
+        } else if (done.load() == kProducers) {
+          if (!q.try_dequeue(out)) return;
+          sum.fetch_add(out, std::memory_order_relaxed);
+          count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  const std::uint64_t n = kProducers * kPer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+TYPED_TEST(MsQueueReclaimer, DestructorReleasesRemainingNodes) {
+  // No ASAN here, but a leak/corruption in the destructor path tends to
+  // crash under repetition; run a few construct/fill/destroy cycles.
+  for (int round = 0; round < 20; ++round) {
+    ms_queue<std::uint64_t, TypeParam> q;
+    for (std::uint64_t i = 1; i <= 100; ++i) q.enqueue(i);
+    std::uint64_t out;
+    for (int d = 0; d < 50; ++d) ASSERT_TRUE(q.try_dequeue(out));
+  }
+  SUCCEED();
+}

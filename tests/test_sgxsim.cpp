@@ -1,0 +1,145 @@
+// Tests for the SGX-enclave simulation and the asynchronous syscall
+// service (the Fig. 7 substrate).
+#include <gtest/gtest.h>
+
+#include "ffq/runtime/timing.hpp"
+#include "ffq/sgxsim/enclave.hpp"
+#include "ffq/sgxsim/syscall_service.hpp"
+
+using namespace ffq::sgxsim;
+
+TEST(Enclave, TransitionsAreChargedAndCounted) {
+  enclave_cost_model cost;
+  cost.transition_cycles = 50000;  // big enough to measure reliably
+  cost.inside_op_cycles = 0;
+  std::atomic<std::uint64_t> counter{0};
+  enclave_thread e(cost, &counter);
+
+  const auto t0 = ffq::runtime::rdtsc();
+  e.eenter();
+  e.eexit();
+  const auto dt = ffq::runtime::rdtsc() - t0;
+  EXPECT_GE(dt, 2 * cost.transition_cycles);
+  EXPECT_EQ(e.transitions(), 2u);
+  EXPECT_EQ(counter.load(), 2u);
+  EXPECT_FALSE(e.inside());
+}
+
+TEST(Enclave, OcallRoundTripsAndReturnsValue) {
+  enclave_cost_model cost;
+  cost.transition_cycles = 1000;
+  enclave_thread e(cost);
+  e.eenter();
+  ASSERT_TRUE(e.inside());
+  const int v = e.ocall([] { return 42; });
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(e.inside()) << "ocall must re-enter";
+  EXPECT_EQ(e.transitions(), 3u);  // enter + (exit+enter)
+}
+
+TEST(Enclave, InsideOpChargeOnlyApplliesInside) {
+  enclave_cost_model cost;
+  cost.transition_cycles = 0;
+  cost.inside_op_cycles = 20000;
+  enclave_thread e(cost);
+  const auto t0 = ffq::runtime::rdtsc();
+  e.charge_inside_op();  // outside: free
+  const auto outside = ffq::runtime::rdtsc() - t0;
+  e.eenter();
+  const auto t1 = ffq::runtime::rdtsc();
+  e.charge_inside_op();
+  const auto inside = ffq::runtime::rdtsc() - t1;
+  EXPECT_GE(inside, cost.inside_op_cycles);
+  EXPECT_LT(outside, cost.inside_op_cycles);
+}
+
+namespace {
+service_config small_cfg(service_variant v, int apps = 1, int oss = 1) {
+  service_config cfg;
+  cfg.variant = v;
+  cfg.app_threads = apps;
+  cfg.os_threads = oss;
+  cfg.calls_per_thread = 1000;
+  cfg.queue_capacity = 1 << 8;
+  // Cheap transitions so the test exercises structure, not spin time.
+  cfg.cost.transition_cycles = 500;
+  cfg.cost.inside_op_cycles = 50;
+  return cfg;
+}
+}  // namespace
+
+TEST(SyscallService, NativeVariantRuns) {
+  const auto r = run_syscall_service(small_cfg(service_variant::native, 2));
+  EXPECT_EQ(r.total_calls, 2000u);
+  EXPECT_GT(r.calls_per_sec, 1000.0);
+  EXPECT_GT(r.avg_latency_cycles, 0.0);
+  EXPECT_EQ(r.enclave_transitions, 0u);
+}
+
+TEST(SyscallService, SyncVariantPaysTwoTransitionsPerCall) {
+  const auto r = run_syscall_service(small_cfg(service_variant::sgx_sync, 1));
+  EXPECT_EQ(r.total_calls, 1000u);
+  // enter + per-call (exit+enter) + final exit = 2 + 2*calls.
+  EXPECT_EQ(r.enclave_transitions, 2u + 2u * 1000u);
+}
+
+TEST(SyscallService, FfqVariantCompletesAllCalls) {
+  const auto r = run_syscall_service(small_cfg(service_variant::sgx_ffq, 2, 2));
+  EXPECT_EQ(r.total_calls, 2000u);
+  EXPECT_GT(r.calls_per_sec, 100.0);
+  // Async design: only thread start/stop transitions (2 per app thread).
+  EXPECT_EQ(r.enclave_transitions, 4u);
+}
+
+TEST(SyscallService, FfqVariantWithConsumerFanOut) {
+  // More OS threads than app threads: multiple consumers per SPMC queue.
+  const auto r = run_syscall_service(small_cfg(service_variant::sgx_ffq, 1, 3));
+  EXPECT_EQ(r.total_calls, 1000u);
+}
+
+TEST(SyscallService, FfqVariantClampsMissingExecutors) {
+  // os_threads < app_threads would strand a submission queue; the service
+  // must clamp up rather than deadlock.
+  const auto r = run_syscall_service(small_cfg(service_variant::sgx_ffq, 3, 1));
+  EXPECT_EQ(r.total_calls, 3000u);
+}
+
+TEST(SyscallService, MpmcVariantCompletesAllCalls) {
+  const auto r = run_syscall_service(small_cfg(service_variant::sgx_mpmc, 2, 2));
+  EXPECT_EQ(r.total_calls, 2000u);
+  EXPECT_GT(r.calls_per_sec, 100.0);
+}
+
+TEST(SyscallService, AsyncBeatsSyncOnThroughput) {
+  // The architectural claim behind the whole framework: with realistic
+  // transition costs, queue-based async syscalls beat exit/re-enter.
+  // Kept at 1 app + 1 executor so the comparison is not confounded by
+  // oversubscription on a 2-core CI box (the paper's machines give each
+  // thread its own hardware thread).
+  // Transition cost at the paper's upper quote (50k cycles, §II on Lynx):
+  // in sandboxed CI environments the raw syscall itself costs ~10 us,
+  // which would otherwise drown the 6k-cycle typical EENTER/EEXIT cost.
+  auto sync_cfg = small_cfg(service_variant::sgx_sync, 1);
+  sync_cfg.cost.transition_cycles = 50000;
+  sync_cfg.calls_per_thread = 3000;
+  auto ffq_cfg = small_cfg(service_variant::sgx_ffq, 1, 1);
+  ffq_cfg.cost.transition_cycles = 50000;
+  ffq_cfg.calls_per_thread = 3000;
+  // Throughput comparisons on a shared CI box are noisy; accept the
+  // first of three attempts where the async variant wins.
+  bool async_won = false;
+  double last_ffq = 0.0, last_sync = 0.0;
+  for (int attempt = 0; attempt < 3 && !async_won; ++attempt) {
+    last_sync = run_syscall_service(sync_cfg).calls_per_sec;
+    last_ffq = run_syscall_service(ffq_cfg).calls_per_sec;
+    async_won = last_ffq > last_sync;
+  }
+  EXPECT_TRUE(async_won) << "ffq " << last_ffq << " vs sync " << last_sync;
+}
+
+TEST(SyscallService, VariantNames) {
+  EXPECT_STREQ(to_string(service_variant::native), "native");
+  EXPECT_STREQ(to_string(service_variant::sgx_sync), "sgx-sync");
+  EXPECT_STREQ(to_string(service_variant::sgx_ffq), "sgx-ffq");
+  EXPECT_STREQ(to_string(service_variant::sgx_mpmc), "sgx-mpmc");
+}

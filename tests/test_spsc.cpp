@@ -1,0 +1,206 @@
+// Unit, property, and stress tests for ffq::core::spsc_queue.
+#include "ffq/core/spsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using ffq::core::spsc_queue;
+
+TEST(SpscQueue, EmptyTryDequeueFails) {
+  spsc_queue<int> q(8);
+  int out = -1;
+  EXPECT_FALSE(q.try_dequeue(out));
+  EXPECT_EQ(out, -1);
+  EXPECT_EQ(q.approx_size(), 0);
+}
+
+TEST(SpscQueue, SingleThreadFifoOrder) {
+  spsc_queue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.enqueue(i);
+  EXPECT_EQ(q.approx_size(), 10);
+  int out;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.try_dequeue(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_dequeue(out));
+}
+
+TEST(SpscQueue, WrapAroundManyTimes) {
+  spsc_queue<std::uint64_t> q(4);
+  std::uint64_t out;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    q.enqueue(i);
+    ASSERT_TRUE(q.try_dequeue(out));
+    ASSERT_EQ(out, i);
+  }
+  EXPECT_EQ(q.gaps_created(), 0u) << "in-order SPSC use never skips";
+}
+
+TEST(SpscQueue, InterleavedBatchesKeepOrder) {
+  // Net growth is +1 item per round; capacity must cover rounds + burst
+  // (a single-threaded producer blocks forever on a full ring).
+  spsc_queue<int> q(256);
+  int expect = 0, out;
+  int next = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) q.enqueue(next++);
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(q.try_dequeue(out));
+      ASSERT_EQ(out, expect++);
+    }
+  }
+  while (q.try_dequeue(out)) ASSERT_EQ(out, expect++);
+  EXPECT_EQ(expect, next);
+}
+
+TEST(SpscQueue, MoveOnlyPayload) {
+  spsc_queue<std::unique_ptr<int>> q(8);
+  q.enqueue(std::make_unique<int>(7));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_dequeue(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscQueue, DestructorReleasesUnconsumedItems) {
+  auto counter = std::make_shared<int>(0);
+  struct probe {
+    std::shared_ptr<int> c;
+    probe() = default;
+    explicit probe(std::shared_ptr<int> s) : c(std::move(s)) { ++*c; }
+    probe(probe&& o) noexcept : c(std::move(o.c)) {}
+    probe& operator=(probe&& o) noexcept {
+      c = std::move(o.c);
+      return *this;
+    }
+    ~probe() {
+      if (c) --*c;
+    }
+  };
+  {
+    spsc_queue<probe> q(8);
+    for (int i = 0; i < 5; ++i) q.enqueue(probe(counter));
+    EXPECT_EQ(*counter, 5);
+  }
+  EXPECT_EQ(*counter, 0);
+}
+
+TEST(SpscQueue, CloseDrainsThenReportsEmpty) {
+  spsc_queue<int> q(8);
+  q.enqueue(1);
+  q.enqueue(2);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  int out;
+  EXPECT_TRUE(q.dequeue(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.dequeue(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.dequeue(out)) << "closed and drained";
+  EXPECT_FALSE(q.dequeue(out)) << "stays drained";
+}
+
+TEST(SpscQueue, CloseUnblocksWaitingConsumer) {
+  spsc_queue<int> q(8);
+  std::atomic<int> result{-1};
+  std::thread consumer([&] {
+    int out;
+    result.store(q.dequeue(out) ? 1 : 0);
+  });
+  // Give the consumer time to park in the back-off loop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(result.load(), -1);
+  q.close();
+  consumer.join();
+  EXPECT_EQ(result.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: capacity × item count, all four layouts, concurrent
+// producer/consumer. Invariants: exactly-once delivery, FIFO order,
+// conservation.
+// ---------------------------------------------------------------------------
+
+template <typename Layout>
+void run_spsc_stream(std::size_t capacity, std::uint64_t items) {
+  spsc_queue<std::uint64_t, Layout> q(capacity);
+  std::vector<std::uint64_t> got;
+  got.reserve(items);
+
+  std::thread consumer([&] {
+    std::uint64_t out;
+    while (q.dequeue(out)) got.push_back(out);
+  });
+  for (std::uint64_t i = 0; i < items; ++i) q.enqueue(i);
+  q.close();
+  consumer.join();
+
+  ASSERT_EQ(got.size(), items);
+  for (std::uint64_t i = 0; i < items; ++i) {
+    ASSERT_EQ(got[i], i) << "FIFO violation at position " << i;
+  }
+}
+
+class SpscSweep : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(SpscSweep, LayoutCompact) {
+  run_spsc_stream<ffq::core::layout_compact>(std::get<0>(GetParam()),
+                                             std::get<1>(GetParam()));
+}
+TEST_P(SpscSweep, LayoutAligned) {
+  run_spsc_stream<ffq::core::layout_aligned>(std::get<0>(GetParam()),
+                                             std::get<1>(GetParam()));
+}
+TEST_P(SpscSweep, LayoutRandomized) {
+  run_spsc_stream<ffq::core::layout_randomized>(std::get<0>(GetParam()),
+                                                std::get<1>(GetParam()));
+}
+TEST_P(SpscSweep, LayoutAlignedRandomized) {
+  run_spsc_stream<ffq::core::layout_aligned_randomized>(std::get<0>(GetParam()),
+                                                        std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityByItems, SpscSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 64, 1024),
+                       ::testing::Values<std::uint64_t>(1000, 50000)),
+    [](const auto& info) {
+      return "cap" + std::to_string(std::get<0>(info.param)) + "_items" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Tiny capacity forces the full-queue path (producer sweeps, announces
+// gaps while the consumer is mid-dequeue); correctness must hold and the
+// consumer must follow every gap.
+TEST(SpscQueue, StressTinyCapacityChecksConservation) {
+  spsc_queue<std::uint64_t> q(2);
+  constexpr std::uint64_t kItems = 200000;
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+  std::thread consumer([&] {
+    std::uint64_t out;
+    std::uint64_t prev = 0;
+    bool first = true;
+    while (q.dequeue(out)) {
+      if (!first) {
+        ASSERT_LT(prev, out);
+      }
+      prev = out;
+      first = false;
+      sum += out;
+      ++count;
+    }
+  });
+  for (std::uint64_t i = 1; i <= kItems; ++i) q.enqueue(i);
+  q.close();
+  consumer.join();
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}

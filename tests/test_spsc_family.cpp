@@ -1,0 +1,237 @@
+// Tests for the related-work SPSC queues (§II): Lamport, FastForward,
+// MCRingBuffer, B-Queue, BatchQueue. A shared template drives the common
+// checks; queue-specific quirks (flush, sentinels, batching) get their
+// own tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ffq/baselines/spsc/batchqueue.hpp"
+#include "ffq/baselines/spsc/bqueue.hpp"
+#include "ffq/baselines/spsc/fastforward.hpp"
+#include "ffq/baselines/spsc/lamport.hpp"
+#include "ffq/baselines/spsc/mcringbuffer.hpp"
+
+using namespace ffq::baselines;
+
+// ---------------------------------------------------------------------------
+// Typed battery: FIFO order, full/empty signalling, wrap-around, and a
+// concurrent stream with conservation. Payloads are 1-based so the zero
+// sentinel of FastForward/B-Queue never collides.
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+struct spsc_driver;  // per-queue glue: construction + flush semantics
+
+template <>
+struct spsc_driver<lamport_queue<std::uint64_t>> {
+  static lamport_queue<std::uint64_t> make(std::size_t cap) {
+    return lamport_queue<std::uint64_t>(cap);
+  }
+  static void flush(lamport_queue<std::uint64_t>&) {}
+};
+
+template <>
+struct spsc_driver<fastforward_queue<std::uint64_t>> {
+  static fastforward_queue<std::uint64_t> make(std::size_t cap) {
+    return fastforward_queue<std::uint64_t>(cap);
+  }
+  static void flush(fastforward_queue<std::uint64_t>&) {}
+};
+
+template <>
+struct spsc_driver<mcring_queue<std::uint64_t>> {
+  static mcring_queue<std::uint64_t> make(std::size_t cap) {
+    return mcring_queue<std::uint64_t>(cap, /*batch=*/4);
+  }
+  static void flush(mcring_queue<std::uint64_t>& q) { q.flush_producer(); }
+};
+
+template <>
+struct spsc_driver<bqueue<std::uint64_t>> {
+  static bqueue<std::uint64_t> make(std::size_t cap) {
+    return bqueue<std::uint64_t>(cap, /*batch=*/4);
+  }
+  static void flush(bqueue<std::uint64_t>&) {}
+};
+
+template <>
+struct spsc_driver<batchqueue<std::uint64_t>> {
+  static batchqueue<std::uint64_t> make(std::size_t cap) {
+    return batchqueue<std::uint64_t>(cap);
+  }
+  static void flush(batchqueue<std::uint64_t>& q) {
+    while (!q.flush_producer()) std::this_thread::yield();
+  }
+};
+
+template <typename Q>
+class SpscFamily : public ::testing::Test {};
+
+using SpscTypes =
+    ::testing::Types<lamport_queue<std::uint64_t>,
+                     fastforward_queue<std::uint64_t>,
+                     mcring_queue<std::uint64_t>, bqueue<std::uint64_t>,
+                     batchqueue<std::uint64_t>>;
+TYPED_TEST_SUITE(SpscFamily, SpscTypes);
+
+TYPED_TEST(SpscFamily, EmptyDequeueFails) {
+  auto q = spsc_driver<TypeParam>::make(64);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(q.try_dequeue(out));
+}
+
+TYPED_TEST(SpscFamily, FifoOrderWithFlush) {
+  auto q = spsc_driver<TypeParam>::make(64);
+  for (std::uint64_t i = 1; i <= 20; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  spsc_driver<TypeParam>::flush(q);
+  std::uint64_t out;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(q.try_dequeue(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_dequeue(out));
+}
+
+TYPED_TEST(SpscFamily, ReportsFullEventually) {
+  auto q = spsc_driver<TypeParam>::make(16);
+  std::uint64_t pushed = 0;
+  while (q.try_enqueue(pushed + 1)) {
+    ++pushed;
+    ASSERT_LE(pushed, 16u) << "accepted more items than capacity";
+  }
+  // Batching designs may report full before the ring is exactly full,
+  // but at least half the capacity must be usable.
+  EXPECT_GE(pushed, 8u);
+}
+
+TYPED_TEST(SpscFamily, ConcurrentStreamConservesEverything) {
+  auto q = spsc_driver<TypeParam>::make(256);
+  constexpr std::uint64_t kItems = 200000;
+  std::uint64_t sum = 0, count = 0;
+  std::atomic<bool> done{false};
+
+  std::thread consumer([&] {
+    std::uint64_t out, prev = 0;
+    for (;;) {
+      if (q.try_dequeue(out)) {
+        ASSERT_GT(out, prev) << "FIFO violation";
+        prev = out;
+        sum += out;
+        ++count;
+        if (count == kItems) return;
+      } else if (done.load(std::memory_order_acquire) && count < kItems) {
+        // Producer finished; drain what remains, then re-check.
+        if (!q.try_dequeue(out)) {
+          std::this_thread::yield();
+        } else {
+          ASSERT_GT(out, prev);
+          prev = out;
+          sum += out;
+          ++count;
+          if (count == kItems) return;
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    while (!q.try_enqueue(i)) std::this_thread::yield();
+  }
+  spsc_driver<TypeParam>::flush(q);
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Queue-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(Lamport, UsesWholeCapacity) {
+  lamport_queue<std::uint64_t> q(8);
+  for (std::uint64_t i = 1; i <= 8; ++i) EXPECT_TRUE(q.try_enqueue(i));
+  EXPECT_FALSE(q.try_enqueue(9));
+  std::uint64_t out;
+  EXPECT_TRUE(q.try_dequeue(out));
+  EXPECT_TRUE(q.try_enqueue(9));
+}
+
+TEST(FastForward, InBandSentinelDetectsFullAndEmpty) {
+  fastforward_queue<std::uint64_t> q(4);
+  std::uint64_t out;
+  EXPECT_FALSE(q.try_dequeue(out));
+  for (std::uint64_t i = 1; i <= 4; ++i) EXPECT_TRUE(q.try_enqueue(i));
+  EXPECT_FALSE(q.try_enqueue(5)) << "cell still occupied -> full";
+  EXPECT_TRUE(q.try_dequeue(out));
+  EXPECT_EQ(out, 1u);
+  EXPECT_TRUE(q.try_enqueue(5));
+}
+
+TEST(McRingBuffer, ItemsInvisibleUntilBatchBoundaryOrFlush) {
+  mcring_queue<std::uint64_t> q(64, /*batch=*/8);
+  std::uint64_t out;
+  for (std::uint64_t i = 1; i <= 3; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  EXPECT_FALSE(q.try_dequeue(out)) << "3 < batch: nothing published yet";
+  q.flush_producer();
+  EXPECT_TRUE(q.try_dequeue(out));
+  EXPECT_EQ(out, 1u);
+  // Crossing the batch boundary publishes automatically.
+  for (std::uint64_t i = 4; i <= 12; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  EXPECT_TRUE(q.try_dequeue(out));
+}
+
+TEST(McRingBuffer, ConsumerBatchingDelaysSlotReuse) {
+  mcring_queue<std::uint64_t> q(8, /*batch=*/8);
+  for (std::uint64_t i = 1; i <= 8; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  q.flush_producer();
+  std::uint64_t out;
+  for (std::uint64_t i = 1; i <= 4; ++i) ASSERT_TRUE(q.try_dequeue(out));
+  // Consumer freed 4 slots locally but hasn't published; producer must
+  // still see the ring as full.
+  EXPECT_FALSE(q.try_enqueue(9));
+  q.flush_consumer();
+  EXPECT_TRUE(q.try_enqueue(9));
+}
+
+TEST(BQueue, BacktrackingFindsPartialBatch) {
+  bqueue<std::uint64_t> q(64, /*batch=*/16);
+  // Publish fewer items than one consumer batch.
+  for (std::uint64_t i = 1; i <= 3; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  std::uint64_t out;
+  EXPECT_TRUE(q.try_dequeue(out)) << "backtracking must halve down to 2";
+  EXPECT_EQ(out, 1u);
+  EXPECT_TRUE(q.try_dequeue(out));
+  EXPECT_EQ(out, 2u);
+}
+
+TEST(BatchQueue, HalvesAlternate) {
+  batchqueue<std::uint64_t> q(8);  // halves of 4
+  std::uint64_t out;
+  for (std::uint64_t i = 1; i <= 4; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  // First half auto-published when it filled; second half open.
+  EXPECT_TRUE(q.try_dequeue(out));
+  EXPECT_EQ(out, 1u);
+  for (std::uint64_t i = 5; i <= 8; ++i) ASSERT_TRUE(q.try_enqueue(i));
+  // Half B filled while half A still has unconsumed items, so its eager
+  // publication failed — items 5..8 stay invisible until the consumer
+  // returns half A and the producer flushes.
+  for (std::uint64_t expect = 2; expect <= 4; ++expect) {
+    ASSERT_TRUE(q.try_dequeue(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(q.try_dequeue(out)) << "half B not published yet";
+  EXPECT_TRUE(q.flush_producer());
+  for (std::uint64_t expect = 5; expect <= 8; ++expect) {
+    ASSERT_TRUE(q.try_dequeue(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(q.try_dequeue(out));
+}

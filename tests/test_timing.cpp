@@ -1,0 +1,43 @@
+#include "ffq/runtime/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt = ffq::runtime;
+
+TEST(Timing, TscMonotonic) {
+  const auto a = rt::rdtsc();
+  const auto b = rt::rdtsc();
+  EXPECT_LE(a, b);
+}
+
+TEST(Timing, CalibrationIsPlausible) {
+  const double ghz = rt::tsc_ghz();
+  EXPECT_GT(ghz, 0.1);
+  EXPECT_LT(ghz, 10.0);
+  // Calibration result is cached.
+  EXPECT_DOUBLE_EQ(ghz, rt::tsc_ghz());
+}
+
+TEST(Timing, ConversionRoundTrips) {
+  const double ns = 1234.5;
+  const auto cyc = rt::ns_to_tsc(ns);
+  EXPECT_NEAR(rt::tsc_to_ns(cyc), ns, 2.0);
+}
+
+TEST(Timing, SpinNsWaitsRoughlyTheRequestedTime) {
+  // Generous bounds: CI containers dilate sleeps, never compress spins.
+  const auto t0 = rt::rdtsc();
+  rt::spin_ns(100000);  // 100 us
+  const auto t1 = rt::rdtsc();
+  const double ns = rt::tsc_to_ns(t1 - t0);
+  EXPECT_GE(ns, 95000.0);
+  EXPECT_LT(ns, 100e6);  // generous: preemption can stretch a 100 us spin
+}
+
+TEST(Timing, StopwatchMeasuresElapsed) {
+  rt::stopwatch sw;
+  rt::spin_ns(2e6);  // 2 ms
+  EXPECT_GE(sw.millis(), 1.5);
+  sw.reset();
+  EXPECT_LT(sw.millis(), 1.5);
+}

@@ -1,0 +1,63 @@
+#include "ffq/runtime/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rt = ffq::runtime;
+
+TEST(Topology, DiscoverReturnsAtLeastOneCpu) {
+  const auto topo = rt::cpu_topology::discover();
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_GE(topo.num_cores(), 1u);
+  EXPECT_GE(topo.num_packages(), 1u);
+  EXPECT_LE(topo.num_cores(), topo.num_cpus());
+  EXPECT_FALSE(topo.summary().empty());
+}
+
+TEST(Topology, DiscoverCoreIdsAreDense) {
+  const auto topo = rt::cpu_topology::discover();
+  std::set<int> cores;
+  for (const auto& c : topo.cpus()) cores.insert(c.core_id);
+  EXPECT_EQ(cores.size(), topo.num_cores());
+  EXPECT_EQ(*cores.begin(), 0);
+  EXPECT_EQ(*cores.rbegin(), static_cast<int>(topo.num_cores()) - 1);
+}
+
+TEST(Topology, SyntheticSkylakeShape) {
+  // The paper's Skylake: 1 package, 4 cores, 2 HT/core = 8 logical CPUs.
+  const auto topo = rt::cpu_topology::synthetic(1, 4, 2);
+  EXPECT_EQ(topo.num_cpus(), 8u);
+  EXPECT_EQ(topo.num_cores(), 4u);
+  EXPECT_EQ(topo.num_packages(), 1u);
+  EXPECT_EQ(topo.threads_per_core(), 2u);
+  // Linux-style enumeration: cpu0..3 primary threads, cpu4..7 siblings.
+  EXPECT_EQ(topo.primary_threads(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.sibling_of(0), 4);
+  EXPECT_EQ(topo.sibling_of(4), 0);
+  EXPECT_EQ(topo.core_of(5), 1);
+  EXPECT_EQ(topo.core_members(2), (std::vector<int>{2, 6}));
+}
+
+TEST(Topology, SyntheticHaswellShape) {
+  // The paper's Haswell: 2 packages × 14 cores × 2 HT = 56 CPUs.
+  const auto topo = rt::cpu_topology::synthetic(2, 14, 2);
+  EXPECT_EQ(topo.num_cpus(), 56u);
+  EXPECT_EQ(topo.num_cores(), 28u);
+  EXPECT_EQ(topo.num_packages(), 2u);
+}
+
+TEST(Topology, SyntheticPower8Shape) {
+  // The paper's P8: 10 cores × 8 HT = 80 logical CPUs.
+  const auto topo = rt::cpu_topology::synthetic(1, 10, 8);
+  EXPECT_EQ(topo.num_cpus(), 80u);
+  EXPECT_EQ(topo.threads_per_core(), 8u);
+  const auto members = topo.core_members(0);
+  EXPECT_EQ(members.size(), 8u);
+}
+
+TEST(Topology, SingleThreadPerCoreHasNoSibling) {
+  const auto topo = rt::cpu_topology::synthetic(1, 2, 1);
+  EXPECT_EQ(topo.sibling_of(0), -1);
+  EXPECT_EQ(topo.core_of(99), -1);
+}
