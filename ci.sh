@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ci.sh — the checks a PR must pass.
+#
+#  1. tier-1 verify: full RelWithDebInfo build + the whole ctest suite;
+#  2. TSan sweep: the three core queue test binaries (test_spsc,
+#     test_spmc, test_mpmc) rebuilt with -fsanitize=thread and run to
+#     completion — any reported race fails the script.
+#
+# Usage: ./ci.sh [jobs]   (defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")"
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: build + full test suite ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== tsan: core queue suites under ThreadSanitizer ==="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_spsc test_spmc test_mpmc
+for t in test_spsc test_spmc test_mpmc; do
+  echo "--- $t (tsan) ---"
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+done
+
+echo "ci.sh: all checks passed"

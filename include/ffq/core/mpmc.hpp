@@ -18,6 +18,7 @@
 //    rank wait (paper §III-B, last paragraph).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -95,66 +96,42 @@ class mpmc_queue {
   void enqueue(T value) noexcept {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
-    ffq::runtime::yielding_backoff backoff;
     std::size_t gaps_this_call = 0;
     for (;;) {
       const std::int64_t rank = tail_->fetch_add(1, std::memory_order_relaxed);
-      auto& c = cells_[cap_.template slot<Layout>(rank)];
+      if (place_at_rank(rank, value, gaps_this_call)) return;
+    }
+  }
+
+  /// Enqueue `n` items from `first` (any number of producer threads).
+  /// Acquires a *block* of ranks with a single fetch-and-add of `tail`
+  /// instead of one per item, then resolves each rank against its cell
+  /// with the same DWCAS protocol as enqueue(). Ranks that die inside the
+  /// block (another producer's gap covers them, or this call turns them
+  /// into gaps) are dropped in place; a fresh block is drawn only when
+  /// the current one is exhausted, so the common case pays one FAA per
+  /// batch.
+  template <typename It>
+  void enqueue_bulk(It first, std::size_t n) noexcept {
+    assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
+           "enqueue after close()");
+    std::size_t gaps_this_call = 0;
+    std::size_t remaining = n;
+    std::int64_t next = 0;
+    std::int64_t block_end = 0;  // empty block: forces the first FAA
+    while (remaining > 0) {
+      T item = *first;  // place_at_rank consumes it only on success
       for (;;) {
-        const std::int64_t g = c.rg.second.load(std::memory_order_acquire);
-        if (g >= rank) {
-          // Our rank is already "in the past" at this cell (another
-          // producer announced a gap covering it): abandon the rank —
-          // consumers skip it via the same gap — and draw a fresh one.
-          break;
+        if (next == block_end) {
+          next = tail_->fetch_add(static_cast<std::int64_t>(remaining),
+                                  std::memory_order_relaxed);
+          block_end = next + static_cast<std::int64_t>(remaining);
         }
-        const std::int64_t r = c.rg.first.load(std::memory_order_acquire);
-        if (r >= 0) {
-          if (gaps_this_call >= cap_.size() && r < rank) {
-            // One full sweep produced only gaps: the ring is full. Stop
-            // burning ranks (each dead rank costs every consumer a
-            // fetch-add) and wait for this cell to drain; we still hold a
-            // valid rank for it. Lock-freedom is already forfeit in this
-            // regime (see the class comment on progress).
-            //
-            // Waiting is only sound while the cell holds an *older* rank
-            // (r < ours): consumers reach r before our rank, so the cell
-            // drains independently of us. If another producer already
-            // published a *later* rank here (r > ours, possible with
-            // concurrent producers on a full ring), a consumer may be
-            // parked on our rank behind it — waiting would deadlock that
-            // consumer, so the gap for our rank must be announced.
-            // (Found by the model checker; see tests/test_model.cpp.)
-            backoff.pause();
-            continue;
-          }
-          // Occupied by an unconsumed item: announce the gap. The DWCAS
-          // fails if the item is consumed or the gap moves concurrently;
-          // then re-examine the cell.
-          typename ffq::runtime::atomic_i64_pair::value_type expected{r, g};
-          if (c.rg.compare_exchange(expected, {r, rank})) {
-            gaps_.fetch_add(1, std::memory_order_relaxed);
-            ++gaps_this_call;
-            break;  // gap announced for our rank; acquire a new rank
-          }
-          continue;
-        }
-        if (r == detail::kCellFree) {
-          // Claim attempt: (-1, g) → (-2, g). Failure means another
-          // producer claimed it or a gap moved; re-examine.
-          typename ffq::runtime::atomic_i64_pair::value_type expected{
-              detail::kCellFree, g};
-          if (c.rg.compare_exchange(expected, {detail::kCellReserved, g})) {
-            std::construct_at(c.ptr(), std::move(value));
-            c.rg.first.store(rank, std::memory_order_release);  // publish
-            return;
-          }
-          continue;
-        }
-        // r == kCellReserved: another producer is between its claim and
-        // its publish; wait for it (this is the non-wait-free window).
-        backoff.pause();
+        const std::int64_t rank = next++;
+        if (place_at_rank(rank, item, gaps_this_call)) break;
       }
+      ++first;
+      --remaining;
     }
   }
 
@@ -162,28 +139,75 @@ class mpmc_queue {
   /// spmc_queue::dequeue; a -2 reservation reads as "producer still
   /// writing" and is awaited.
   bool dequeue(T& out) noexcept {
-    std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
-    ffq::runtime::yielding_backoff backoff;
     for (;;) {
-      auto& c = cells_[cap_.template slot<Layout>(rank)];
-      for (;;) {
-        if (c.rg.first.load(std::memory_order_acquire) == rank) {
-          out = std::move(*c.ptr());
-          std::destroy_at(c.ptr());
-          c.rg.first.store(detail::kCellFree, std::memory_order_release);
+      const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
+      switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
+        case rank_state::taken:
           return true;
-        }
-        if (c.rg.second.load(std::memory_order_acquire) >= rank &&
-            c.rg.first.load(std::memory_order_acquire) != rank) {
-          skips_.fetch_add(1, std::memory_order_relaxed);
-          rank = head_->fetch_add(1, std::memory_order_relaxed);
-          backoff.reset();
-          break;
-        }
-        const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
-        if (closed >= 0 && rank >= closed) return false;
-        backoff.pause();
+        case rank_state::skipped:
+          continue;
+        case rank_state::drained:
+          return false;
       }
+    }
+  }
+
+  /// Non-blocking dequeue: returns false immediately when nothing is
+  /// claimable (tail ≤ head) instead of committing a rank and spinning.
+  /// Unlike the SPMC variant, a claimed rank below tail can still be
+  /// mid-write (-2 reservation) — the wait for the reserving producer is
+  /// the same one dequeue() performs.
+  bool try_dequeue(T& out) noexcept {
+    for (;;) {
+      const std::int64_t t = tail_->load(std::memory_order_acquire);
+      const std::int64_t h = head_->load(std::memory_order_relaxed);
+      if (t <= h) return false;
+      const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
+      switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
+        case rank_state::taken:
+          return true;
+        case rank_state::skipped:
+          continue;
+        case rank_state::drained:
+          return false;
+      }
+    }
+  }
+
+  /// Dequeue up to `max_n` items: one head fetch-and-add claims the whole
+  /// run, gap ranks inside it are dropped without a fresh FAA (see
+  /// spmc_queue::dequeue_bulk). Returns the count taken (≥ 1); 0 only
+  /// once closed and drained.
+  template <typename OutIt>
+  std::size_t dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    if (max_n == 0) return 0;
+    for (;;) {
+      const std::int64_t t = tail_->load(std::memory_order_acquire);
+      const std::int64_t h = head_->load(std::memory_order_relaxed);
+      const std::int64_t avail = t - h;
+      const std::int64_t k =
+          avail > 1 ? std::min<std::int64_t>(
+                          static_cast<std::int64_t>(max_n), avail)
+                    : 1;
+      const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
+      std::size_t taken = 0;
+      bool drained = false;
+      for (std::int64_t rank = first; rank < first + k && !drained; ++rank) {
+        switch (resolve_rank(rank, [&](T&& v) {
+          *out = std::move(v);
+          ++out;
+        })) {
+          case rank_state::taken:
+            ++taken;
+            break;
+          case rank_state::skipped:
+            break;
+          case rank_state::drained:
+            drained = true;
+            break;
+        }
+      }
+      if (taken > 0 || drained) return taken;
     }
   }
 
@@ -216,6 +240,97 @@ class mpmc_queue {
 
  private:
   using cell = detail::mpmc_cell<T, Layout::kCacheAligned>;
+
+  /// Try to install `value` at `rank` (Algorithm 2's per-cell races).
+  /// True: value moved into the cell and published. False: the rank died
+  /// — covered by another producer's gap, or turned into a gap by this
+  /// call — and the caller must draw a fresh rank for the same value.
+  bool place_at_rank(std::int64_t rank, T& value,
+                     std::size_t& gaps_this_call) noexcept {
+    auto& c = cells_[cap_.template slot<Layout>(rank)];
+    ffq::runtime::yielding_backoff backoff;
+    for (;;) {
+      const std::int64_t g = c.rg.second.load(std::memory_order_acquire);
+      if (g >= rank) {
+        // Our rank is already "in the past" at this cell (another
+        // producer announced a gap covering it): abandon the rank —
+        // consumers skip it via the same gap — and draw a fresh one.
+        return false;
+      }
+      const std::int64_t r = c.rg.first.load(std::memory_order_acquire);
+      if (r >= 0) {
+        if (gaps_this_call >= cap_.size() && r < rank) {
+          // One full sweep produced only gaps: the ring is full. Stop
+          // burning ranks (each dead rank costs every consumer a
+          // fetch-add) and wait for this cell to drain; we still hold a
+          // valid rank for it. Lock-freedom is already forfeit in this
+          // regime (see the class comment on progress).
+          //
+          // Waiting is only sound while the cell holds an *older* rank
+          // (r < ours): consumers reach r before our rank, so the cell
+          // drains independently of us. If another producer already
+          // published a *later* rank here (r > ours, possible with
+          // concurrent producers on a full ring), a consumer may be
+          // parked on our rank behind it — waiting would deadlock that
+          // consumer, so the gap for our rank must be announced.
+          // (Found by the model checker; see tests/test_model.cpp.)
+          backoff.pause();
+          continue;
+        }
+        // Occupied by an unconsumed item: announce the gap. The DWCAS
+        // fails if the item is consumed or the gap moves concurrently;
+        // then re-examine the cell.
+        typename ffq::runtime::atomic_i64_pair::value_type expected{r, g};
+        if (c.rg.compare_exchange(expected, {r, rank})) {
+          gaps_.fetch_add(1, std::memory_order_relaxed);
+          ++gaps_this_call;
+          return false;  // gap announced for our rank; acquire a new rank
+        }
+        continue;
+      }
+      if (r == detail::kCellFree) {
+        // Claim attempt: (-1, g) → (-2, g). Failure means another
+        // producer claimed it or a gap moved; re-examine.
+        typename ffq::runtime::atomic_i64_pair::value_type expected{
+            detail::kCellFree, g};
+        if (c.rg.compare_exchange(expected, {detail::kCellReserved, g})) {
+          std::construct_at(c.ptr(), std::move(value));
+          c.rg.first.store(rank, std::memory_order_release);  // publish
+          return true;
+        }
+        continue;
+      }
+      // r == kCellReserved: another producer is between its claim and
+      // its publish; wait for it (this is the non-wait-free window).
+      backoff.pause();
+    }
+  }
+
+  enum class rank_state { taken, skipped, drained };
+
+  /// Resolve one claimed rank against its cell (the scalar dequeue body),
+  /// shared by dequeue / try_dequeue / dequeue_bulk.
+  template <typename Sink>
+  rank_state resolve_rank(std::int64_t rank, Sink&& sink) noexcept {
+    auto& c = cells_[cap_.template slot<Layout>(rank)];
+    ffq::runtime::yielding_backoff backoff;
+    for (;;) {
+      if (c.rg.first.load(std::memory_order_acquire) == rank) {
+        sink(std::move(*c.ptr()));
+        std::destroy_at(c.ptr());
+        c.rg.first.store(detail::kCellFree, std::memory_order_release);
+        return rank_state::taken;
+      }
+      if (c.rg.second.load(std::memory_order_acquire) >= rank &&
+          c.rg.first.load(std::memory_order_acquire) != rank) {
+        skips_.fetch_add(1, std::memory_order_relaxed);
+        return rank_state::skipped;
+      }
+      const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
+      if (closed >= 0 && rank >= closed) return rank_state::drained;
+      backoff.pause();
+    }
+  }
 
   capacity_info cap_;
   ffq::runtime::aligned_array<cell> cells_;

@@ -28,8 +28,16 @@
 // Library extension beyond the paper (DESIGN.md §5.6): `close()` lets
 // consumers parked on a never-to-be-produced rank return false instead of
 // spinning forever. The check sits only on the back-off path.
+//
+// Batched operations (DESIGN.md §5.8): `enqueue_bulk` publishes each cell
+// individually (consumers synchronize through cells, not tail) but stores
+// `tail` once per batch; `dequeue_bulk` claims a *run* of ranks with a
+// single fetch-and-add on `head` — the per-item atomic RMW that dominates
+// dequeue cost (§III-A) is paid once per batch. Gap ranks inside a
+// claimed run are dropped in place without a fresh fetch-and-add.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -140,39 +148,125 @@ class spmc_queue {
     tail_->store(t, std::memory_order_release);
   }
 
+  /// Enqueue `n` items from `first` (producer thread only). Same cell
+  /// protocol as enqueue() — every item still gets its own release-store
+  /// of `rank`, which is the publication consumers synchronize on — but
+  /// `tail` is stored once for the whole batch instead of once per item.
+  /// Blocks (like enqueue) only in the full-ring regime.
+  template <typename It>
+  void enqueue_bulk(It first, std::size_t n) noexcept {
+    assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
+           "enqueue after close()");
+    std::int64_t t = tail_->load(std::memory_order_relaxed);
+    std::size_t consecutive_skips = 0;
+    ffq::runtime::yielding_backoff full_backoff;
+    for (std::size_t i = 0; i < n;) {
+      auto& c = cells_[cap_.template slot<Layout>(t)];
+      if (c.rank.load(std::memory_order_acquire) >= 0) {
+        if (consecutive_skips >= cap_.size()) {
+          full_backoff.pause();
+          continue;
+        }
+        c.gap.store(t, std::memory_order_release);
+        ++t;
+        ++gaps_created_;
+        ++consecutive_skips;
+        continue;
+      }
+      std::construct_at(c.ptr(), std::move(*first));
+      c.rank.store(t, std::memory_order_release);
+      ++t;
+      ++first;
+      ++i;
+      consecutive_skips = 0;
+    }
+    tail_->store(t, std::memory_order_release);  // one publication per batch
+  }
+
   /// Dequeue one item (any number of consumer threads). Blocks (spinning
   /// with back-off) while the queue is empty; returns false only after
   /// close() once this consumer's rank is past the final tail.
   bool dequeue(T& out) noexcept {
-    std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
-    ffq::runtime::yielding_backoff backoff;
     for (;;) {
-      auto& c = cells_[cap_.template slot<Layout>(rank)];
-      for (;;) {
-        if (c.rank.load(std::memory_order_acquire) == rank) {
-          // Exactly one consumer can observe its own rank here (ranks are
-          // unique), so the cell is ours to read and recycle.
-          out = std::move(*c.ptr());
-          std::destroy_at(c.ptr());
-          c.rank.store(-1, std::memory_order_release);  // linearization point
+      const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
+      switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
+        case rank_state::taken:
           return true;
-        }
-        // Skipped? gap must be read before the rank re-check: the
-        // producer may have *filled* the cell for our rank after our
-        // first look and then announced a gap for a later rank on a
-        // subsequent traversal (paper's line-29 discussion).
-        if (c.gap.load(std::memory_order_acquire) >= rank &&
-            c.rank.load(std::memory_order_acquire) != rank) {
-          skips_.fetch_add(1, std::memory_order_relaxed);
-          rank = head_->fetch_add(1, std::memory_order_relaxed);
-          backoff.reset();
-          break;  // rebind to the new rank's cell
-        }
-        // Producer still writing (or queue empty): back off briefly.
-        const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
-        if (closed >= 0 && rank >= closed) return false;  // drained
-        backoff.pause();
+        case rank_state::skipped:
+          continue;  // draw a fresh rank
+        case rank_state::drained:
+          return false;
       }
+    }
+  }
+
+  /// Non-blocking dequeue (any number of consumer threads). Returns false
+  /// immediately when no published work is claimable, instead of
+  /// committing to a rank and spinning. Once work is visible it commits
+  /// exactly like dequeue(); a racing consumer can push the claimed rank
+  /// past the observed tail, in which case this waits for that one rank
+  /// to resolve (ranks below the observed tail are always decided, so the
+  /// common path never waits).
+  bool try_dequeue(T& out) noexcept {
+    for (;;) {
+      const std::int64_t t = tail_->load(std::memory_order_acquire);
+      const std::int64_t h = head_->load(std::memory_order_relaxed);
+      if (t <= h) return false;  // nothing published: do not claim a rank
+      const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
+      switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
+        case rank_state::taken:
+          return true;
+        case rank_state::skipped:
+          continue;  // gap rank: re-check availability before reclaiming
+        case rank_state::drained:
+          return false;
+      }
+    }
+  }
+
+  /// Dequeue up to `max_n` items into `out` (any number of consumer
+  /// threads). Claims a run of ranks with a *single* fetch-and-add of
+  /// `head` and resolves each claimed rank against its cell; gap ranks
+  /// inside the run are dropped without a fresh fetch-and-add. The claim
+  /// is bounded by the published tail (every rank below it is already
+  /// decided as item or gap), so the run cannot park on more than one
+  /// unproduced rank. Returns the count actually taken (≥ 1), blocking
+  /// like dequeue() while the queue is empty; returns 0 only once closed
+  /// and drained.
+  template <typename OutIt>
+  std::size_t dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    if (max_n == 0) return 0;
+    for (;;) {
+      const std::int64_t t = tail_->load(std::memory_order_acquire);
+      const std::int64_t h = head_->load(std::memory_order_relaxed);
+      const std::int64_t avail = t - h;
+      const std::int64_t k =
+          avail > 1 ? std::min<std::int64_t>(
+                          static_cast<std::int64_t>(max_n), avail)
+                    : 1;  // claim one rank to preserve blocking semantics
+      const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
+      std::size_t taken = 0;
+      bool drained = false;
+      for (std::int64_t rank = first; rank < first + k && !drained; ++rank) {
+        switch (resolve_rank(rank, [&](T&& v) {
+          *out = std::move(v);
+          ++out;
+        })) {
+          case rank_state::taken:
+            ++taken;
+            break;
+          case rank_state::skipped:
+            break;  // dropped in place: no fresh fetch-and-add
+          case rank_state::drained:
+            // Ranks grow within the run, so the rest are past the final
+            // tail too.
+            drained = true;
+            break;
+        }
+      }
+      if (taken > 0 || drained) return taken;
+      // Whole run was gaps: claim again (equivalent to dequeue()'s
+      // skip-and-redraw, amortized).
     }
   }
 
@@ -209,6 +303,41 @@ class spmc_queue {
 
  private:
   using cell = detail::spmc_cell<T, Layout::kCacheAligned>;
+
+  enum class rank_state { taken, skipped, drained };
+
+  /// Resolve one claimed rank against its cell: the scalar dequeue body
+  /// of Algorithm 1, shared by dequeue / try_dequeue / dequeue_bulk.
+  /// `sink` receives the item by rvalue on `taken`. Blocks (with
+  /// back-off) while the producer is still writing this rank.
+  template <typename Sink>
+  rank_state resolve_rank(std::int64_t rank, Sink&& sink) noexcept {
+    auto& c = cells_[cap_.template slot<Layout>(rank)];
+    ffq::runtime::yielding_backoff backoff;
+    for (;;) {
+      if (c.rank.load(std::memory_order_acquire) == rank) {
+        // Exactly one consumer can observe its own rank here (ranks are
+        // unique), so the cell is ours to read and recycle.
+        sink(std::move(*c.ptr()));
+        std::destroy_at(c.ptr());
+        c.rank.store(-1, std::memory_order_release);  // linearization point
+        return rank_state::taken;
+      }
+      // Skipped? gap must be read before the rank re-check: the
+      // producer may have *filled* the cell for our rank after our
+      // first look and then announced a gap for a later rank on a
+      // subsequent traversal (paper's line-29 discussion).
+      if (c.gap.load(std::memory_order_acquire) >= rank &&
+          c.rank.load(std::memory_order_acquire) != rank) {
+        skips_.fetch_add(1, std::memory_order_relaxed);
+        return rank_state::skipped;
+      }
+      // Producer still writing (or queue empty): back off briefly.
+      const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
+      if (closed >= 0 && rank >= closed) return rank_state::drained;
+      backoff.pause();
+    }
+  }
 
   capacity_info cap_;
   ffq::runtime::aligned_array<cell> cells_;

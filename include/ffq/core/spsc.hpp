@@ -86,6 +86,39 @@ class spsc_queue {
     tail_->store(t, std::memory_order_release);
   }
 
+  /// Producer thread only. Enqueue `n` items from `first` with the same
+  /// cell protocol as enqueue() but a single `tail` store for the whole
+  /// batch (DESIGN.md §5.8). Blocks only in the full-ring regime.
+  template <typename It>
+  void enqueue_bulk(It first, std::size_t n) noexcept {
+    assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
+           "enqueue after close()");
+    std::int64_t t = tail_->load(std::memory_order_relaxed);
+    std::size_t consecutive_skips = 0;
+    ffq::runtime::yielding_backoff full_backoff;
+    for (std::size_t i = 0; i < n;) {
+      auto& c = cells_[cap_.template slot<Layout>(t)];
+      if (c.rank.load(std::memory_order_acquire) >= 0) {
+        if (consecutive_skips >= cap_.size()) {
+          full_backoff.pause();
+          continue;
+        }
+        c.gap.store(t, std::memory_order_release);
+        ++t;
+        ++gaps_created_;
+        ++consecutive_skips;
+        continue;
+      }
+      std::construct_at(c.ptr(), std::move(*first));
+      c.rank.store(t, std::memory_order_release);
+      ++t;
+      ++first;
+      ++i;
+      consecutive_skips = 0;
+    }
+    tail_->store(t, std::memory_order_release);  // one publication per batch
+  }
+
   /// Consumer thread only. Non-blocking: false when no item is ready.
   /// Safe because `head` is consumer-private — an abandoned poll consumes
   /// no rank.
@@ -118,6 +151,50 @@ class spsc_queue {
       if (try_dequeue(out)) return true;
       const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
       if (closed >= 0 && (*head_) >= closed) return false;
+      backoff.pause();
+    }
+  }
+
+  /// Consumer thread only. Take up to `max_n` ready items; never waits.
+  /// The consumer-private head makes the claim non-committal, so a
+  /// partial (or empty) batch abandons nothing.
+  template <typename OutIt>
+  std::size_t try_dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    std::int64_t h = (*head_);
+    std::size_t taken = 0;
+    while (taken < max_n) {
+      auto& c = cells_[cap_.template slot<Layout>(h)];
+      if (c.rank.load(std::memory_order_acquire) == h) {
+        *out = std::move(*c.ptr());
+        ++out;
+        std::destroy_at(c.ptr());
+        c.rank.store(-1, std::memory_order_release);
+        ++h;
+        ++taken;
+        continue;
+      }
+      if (c.gap.load(std::memory_order_acquire) >= h &&
+          c.rank.load(std::memory_order_acquire) != h) {
+        ++h;  // gap rank: advance past it within the same scan
+        continue;
+      }
+      break;  // next rank not published yet
+    }
+    (*head_) = h;
+    return taken;
+  }
+
+  /// Consumer thread only. Blocking bulk dequeue: returns ≥ 1 items, or
+  /// 0 only once closed and drained.
+  template <typename OutIt>
+  std::size_t dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    if (max_n == 0) return 0;
+    ffq::runtime::yielding_backoff backoff;
+    for (;;) {
+      const std::size_t n = try_dequeue_bulk(out, max_n);
+      if (n > 0) return n;
+      const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
+      if (closed >= 0 && (*head_) >= closed) return 0;
       backoff.pause();
     }
   }

@@ -43,8 +43,22 @@ class waitable_spsc_queue {
     ec_.notify_one();
   }
 
+  /// Producer only. Bulk enqueue with one tail publication and one wake
+  /// check per batch (DESIGN.md §5.8).
+  template <typename It>
+  void enqueue_bulk(It first, std::size_t n) noexcept {
+    q_.enqueue_bulk(first, n);
+    ec_.notify_one();
+  }
+
   /// Consumer only; never blocks.
   bool try_dequeue(T& out) noexcept { return q_.try_dequeue(out); }
+
+  /// Consumer only; never blocks. Returns the count taken (possibly 0).
+  template <typename OutIt>
+  std::size_t try_dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    return q_.try_dequeue_bulk(out, max_n);
+  }
 
   /// Consumer only. Parks in the kernel while the queue is empty;
   /// returns false once closed and drained.
@@ -66,6 +80,31 @@ class waitable_spsc_queue {
         ec_.cancel_wait();
         // Drain anything between the closed flag and the last publish.
         return q_.try_dequeue(out);
+      }
+      ec_.wait(key);
+    }
+  }
+
+  /// Consumer only. Bulk variant of dequeue(): parks in the kernel while
+  /// the queue is empty; returns ≥ 1 items, or 0 once closed and drained.
+  template <typename OutIt>
+  std::size_t dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    if (max_n == 0) return 0;
+    for (int i = 0; i < kSpinRounds; ++i) {
+      const std::size_t n = q_.try_dequeue_bulk(out, max_n);
+      if (n > 0) return n;
+      ffq::runtime::cpu_relax();
+    }
+    for (;;) {
+      const auto key = ec_.prepare_wait();
+      const std::size_t n = q_.try_dequeue_bulk(out, max_n);
+      if (n > 0) {
+        ec_.cancel_wait();
+        return n;
+      }
+      if (q_.closed()) {
+        ec_.cancel_wait();
+        return q_.try_dequeue_bulk(out, max_n);
       }
       ec_.wait(key);
     }

@@ -23,6 +23,12 @@ class table {
   /// Write as CSV (header + rows). Returns false on I/O failure.
   bool write_csv(const std::string& path) const;
 
+  /// Write as a JSON report: {"experiment", "columns", "rows": [{col:
+  /// value, ...}]}. Cells that parse fully as numbers are emitted as JSON
+  /// numbers so downstream tooling can compare runs without re-parsing.
+  /// Returns false on I/O failure.
+  bool write_json(const std::string& path, const std::string& experiment) const;
+
   std::size_t rows() const noexcept { return rows_.size(); }
 
  private:
@@ -38,6 +44,7 @@ void print_experiment_header(const std::string& experiment_id,
 /// Parse `--csv <path>`-style flags shared by all benches.
 struct bench_cli {
   std::string csv_path;      ///< empty = no CSV
+  std::string json_path;     ///< empty = no JSON report
   int runs = 10;             ///< repetitions per configuration
   double scale = 1.0;        ///< workload scale factor (ops multiplier)
   bool quick = false;        ///< --quick: 3 runs, 1/10 workload

@@ -19,6 +19,7 @@
 // the paper's "implicit flow control" that guarantees free cells.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -39,6 +40,11 @@ struct spmc_bench_config {
   std::size_t submission_capacity = 1 << 16;
   std::size_t response_capacity = 1 << 16;
   std::uint64_t items_per_producer = 1'000'000;
+  /// Batched mode (DESIGN.md §5.8): > 1 makes the producer submit with
+  /// enqueue_bulk and consumers drain with dequeue_bulk in runs of this
+  /// size (responses are replied in bulk too); 1 keeps the paper's
+  /// scalar per-item loop.
+  std::size_t batch = 1;
   ffq::runtime::placement_policy policy = ffq::runtime::placement_policy::none;
 };
 
@@ -98,9 +104,20 @@ double run_spmc_bench_once(const spmc_bench_config& cfg) {
         auto& resp = *groups[gi].responses[ci];
         barrier.arrive_and_wait();
         window.mark_start(slot);
-        std::uint64_t v;
-        while (sub.dequeue(v)) {
-          resp.enqueue(v + 1);  // "enqueue a 64-bit integer" as the reply
+        if (cfg.batch <= 1) {
+          std::uint64_t v;
+          while (sub.dequeue(v)) {
+            resp.enqueue(v + 1);  // "enqueue a 64-bit integer" as the reply
+          }
+        } else {
+          // Batched mode: one head fetch-and-add claims up to `batch`
+          // requests; replies go back with one tail publication.
+          std::vector<std::uint64_t> buf(cfg.batch);
+          std::size_t n;
+          while ((n = sub.dequeue_bulk(buf.data(), cfg.batch)) > 0) {
+            for (std::size_t i = 0; i < n; ++i) buf[i] += 1;
+            resp.enqueue_bulk(buf.data(), n);
+          }
         }
         window.mark_end(slot);
         barrier.arrive_and_wait();
@@ -118,20 +135,44 @@ double run_spmc_bench_once(const spmc_bench_config& cfg) {
       std::uint64_t submitted = 0, received = 0;
       std::size_t rr = 0;  // round-robin cursor over response queues
       std::uint64_t out;
+      std::vector<std::uint64_t> sub_buf(cfg.batch);
+      std::vector<std::uint64_t> resp_buf(cfg.batch);
       ffq::runtime::yielding_backoff idle;
       while (received < cfg.items_per_producer) {
         bool progressed = false;
         while (submitted < cfg.items_per_producer &&
                submitted - received < inflight_window) {
-          g2.submission->enqueue(submitted + 1);
-          ++submitted;
+          if (cfg.batch <= 1) {
+            g2.submission->enqueue(submitted + 1);
+            ++submitted;
+          } else {
+            const std::uint64_t chunk = std::min<std::uint64_t>(
+                {static_cast<std::uint64_t>(cfg.batch),
+                 cfg.items_per_producer - submitted,
+                 inflight_window - (submitted - received)});
+            for (std::uint64_t i = 0; i < chunk; ++i) {
+              sub_buf[static_cast<std::size_t>(i)] = submitted + 1 + i;
+            }
+            g2.submission->enqueue_bulk(sub_buf.data(),
+                                        static_cast<std::size_t>(chunk));
+            submitted += chunk;
+          }
           progressed = true;
         }
         // "loop through the response queues for dequeuing values"
         for (std::size_t i = 0; i < g2.responses.size(); ++i) {
-          while (g2.responses[rr]->try_dequeue(out)) {
-            ++received;
-            progressed = true;
+          if (cfg.batch <= 1) {
+            while (g2.responses[rr]->try_dequeue(out)) {
+              ++received;
+              progressed = true;
+            }
+          } else {
+            std::size_t n;
+            while ((n = g2.responses[rr]->try_dequeue_bulk(
+                        resp_buf.data(), cfg.batch)) > 0) {
+              received += n;
+              progressed = true;
+            }
           }
           rr = (rr + 1) % g2.responses.size();
         }

@@ -16,6 +16,7 @@
 //     important"); a consumer can then read uninitialized data.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -220,6 +221,277 @@ class alg1_consumer : public thread_m {
   int val_ = 0;
   int taken_ = 0;
   int quota_;
+  consumer_mutation mut_;
+  std::vector<int> last_from_;  ///< FIFO monitor: last value per producer
+};
+
+/// Producer issuing enqueue_bulk(batch) (DESIGN.md §5.8). Per-cell
+/// behaviour — gap announcements and data-before-rank publication — is
+/// identical to alg1_producer, but the producer works against a private
+/// tail register and stores the SHARED tail once per batch. Scalar
+/// consumers never read the tail, so for them this is indistinguishable
+/// from Algorithm 1; bulk consumers bound their run claims by the
+/// published tail and fall back to single-rank claims between
+/// publications. Unlike the scalar model, the tail store here is a real
+/// separate shared step because bulk consumers observe it.
+class alg1_bulk_producer : public thread_m {
+ public:
+  alg1_bulk_producer(int first, int count, int batch,
+                     producer_mutation mut = producer_mutation::none)
+      : next_(first), last_(first + count - 1), batch_(batch), mut_(mut) {}
+
+  bool done() const override { return pc_ == pc::finished; }
+
+  void step(world& w) override {
+    switch (pc_) {
+      case pc::load_rank: {
+        const int r = w.cells_[w.slot(pt_)].rank;  // one load
+        if (r >= 0) {
+          pc_ = consec_gaps_ >= static_cast<int>(w.cells_.size())
+                    ? pc::load_rank  // full fruitless sweep: wait in place
+                    : pc::announce_gap;
+        } else {
+          consec_gaps_ = 0;
+          pc_ = pc::store_data;
+        }
+        break;
+      }
+      case pc::announce_gap: {
+        w.cells_[w.slot(pt_)].gap = pt_;  // one store (+ private tail bump)
+        pt_ += 1;
+        ++consec_gaps_;
+        pc_ = pc::load_rank;
+        break;
+      }
+      case pc::store_data: {
+        if (mut_ == producer_mutation::publish_before_data) {
+          w.cells_[w.slot(pt_)].rank = pt_;  // MUTATION: publish first
+          pc_ = pc::store_data_late;
+        } else {
+          w.cells_[w.slot(pt_)].data = next_;  // one store
+          pc_ = pc::publish;
+        }
+        break;
+      }
+      case pc::store_data_late: {
+        w.cells_[w.slot(pt_)].data = next_;
+        pt_ += 1;
+        advance_item();
+        break;
+      }
+      case pc::publish: {
+        w.cells_[w.slot(pt_)].rank = pt_;  // per-cell publication store
+        pt_ += 1;
+        advance_item();
+        break;
+      }
+      case pc::publish_tail: {
+        w.tail_ = pt_;  // ONE shared tail store per batch
+        in_batch_ = 0;
+        if (next_ == last_) {
+          pc_ = pc::finished;
+        } else {
+          ++next_;
+          pc_ = pc::load_rank;
+        }
+        break;
+      }
+      case pc::finished:
+        break;
+    }
+  }
+
+  void encode(std::vector<int>& out) const override {
+    out.push_back(static_cast<int>(pc_));
+    out.push_back(next_);
+    out.push_back(pt_);
+    out.push_back(in_batch_);
+    out.push_back(consec_gaps_);
+  }
+
+  std::unique_ptr<thread_m> clone() const override {
+    return std::make_unique<alg1_bulk_producer>(*this);
+  }
+
+ private:
+  enum class pc {
+    load_rank,
+    announce_gap,
+    store_data,
+    store_data_late,
+    publish,
+    publish_tail,
+    finished
+  };
+
+  void advance_item() {
+    ++in_batch_;
+    if (next_ == last_ || in_batch_ == batch_) {
+      pc_ = pc::publish_tail;
+    } else {
+      ++next_;
+      pc_ = pc::load_rank;
+    }
+  }
+
+  pc pc_ = pc::load_rank;
+  int next_;
+  int last_;
+  int batch_;
+  int pt_ = 0;  ///< private tail; w.tail_ lags until publish_tail
+  int in_batch_ = 0;
+  int consec_gaps_ = 0;
+  producer_mutation mut_;
+};
+
+/// Consumer issuing dequeue_bulk(batch) with a fixed total quota. The
+/// claim is modelled with the implementation's exact access sequence —
+/// tail load, head load, then the head fetch-and-add — so the checker
+/// explores the stale-head race where another consumer advances the head
+/// between the load and the RMW. The claimed run [rank_, end_) is then
+/// resolved rank by rank with the scalar cell protocol; ranks that turn
+/// out to be gaps are dropped in place (no fresh fetch-and-add), which is
+/// the property consumer_mutation::skip_line29_recheck breaks inside a
+/// run (a just-published item in the run is silently dropped).
+class alg1_bulk_consumer : public thread_m {
+ public:
+  alg1_bulk_consumer(int quota, int batch,
+                     consumer_mutation mut = consumer_mutation::none)
+      : quota_(quota), batch_(batch), mut_(mut) {}
+
+  bool done() const override { return pc_ == pc::finished; }
+
+  void step(world& w) override {
+    switch (pc_) {
+      case pc::load_tail: {
+        t_ = w.tail_;  // one load (acquire in the implementation)
+        pc_ = pc::load_head;
+        break;
+      }
+      case pc::load_head: {
+        h0_ = w.head_;  // one load; may be stale by claim time
+        pc_ = pc::claim;
+        break;
+      }
+      case pc::claim: {
+        const int avail = t_ - h0_;
+        const int k = avail > 1
+                          ? std::min({batch_, avail, quota_ - taken_})
+                          : 1;  // empty/near-empty: claim one and park
+        rank_ = w.head_;  // fetch-and-add: one RMW
+        w.head_ += k;
+        end_ = rank_ + k;
+        pc_ = pc::check_rank;
+        break;
+      }
+      case pc::check_rank: {
+        const int r = w.cells_[w.slot(rank_)].rank;  // one load
+        pc_ = r == rank_ ? pc::read_data : pc::check_gap;
+        break;
+      }
+      case pc::read_data: {
+        val_ = w.cells_[w.slot(rank_)].data;  // one load
+        pc_ = pc::release_cell;
+        break;
+      }
+      case pc::release_cell: {
+        w.cells_[w.slot(rank_)].rank = -1;  // linearization store
+        w.record_consume(val_);
+        const int p = w.producer_of(val_);
+        if (p >= 0) {
+          if (static_cast<std::size_t>(p) >= last_from_.size()) {
+            last_from_.resize(static_cast<std::size_t>(p) + 1, 0);
+          }
+          if (val_ <= last_from_[static_cast<std::size_t>(p)]) {
+            w.violation_ = "per-producer FIFO violated: saw " +
+                           std::to_string(val_) + " after " +
+                           std::to_string(last_from_[static_cast<std::size_t>(p)]);
+          }
+          last_from_[static_cast<std::size_t>(p)] = val_;
+        }
+        ++taken_;
+        advance_rank();
+        break;
+      }
+      case pc::check_gap: {
+        const int g = w.cells_[w.slot(rank_)].gap;  // one load
+        if (g >= rank_) {
+          if (mut_ == consumer_mutation::skip_line29_recheck) {
+            advance_rank();  // MUTATION: drop the rank without re-check
+          } else {
+            pc_ = pc::recheck_rank;
+          }
+        } else {
+          pc_ = pc::check_rank;  // back off and re-examine (spin)
+        }
+        break;
+      }
+      case pc::recheck_rank: {
+        const int r = w.cells_[w.slot(rank_)].rank;  // one load
+        if (r != rank_) {
+          advance_rank();  // truly skipped: drop in place, stay in run
+        } else {
+          pc_ = pc::check_rank;
+        }
+        break;
+      }
+      case pc::finished:
+        break;
+    }
+  }
+
+  void encode(std::vector<int>& out) const override {
+    out.push_back(static_cast<int>(pc_));
+    out.push_back(t_);
+    out.push_back(h0_);
+    out.push_back(rank_);
+    out.push_back(end_);
+    out.push_back(val_);
+    out.push_back(taken_);
+    for (int v : last_from_) out.push_back(v);
+  }
+
+  std::unique_ptr<thread_m> clone() const override {
+    return std::make_unique<alg1_bulk_consumer>(*this);
+  }
+
+  int taken() const { return taken_; }
+
+ private:
+  enum class pc {
+    load_tail,
+    load_head,
+    claim,
+    check_rank,
+    read_data,
+    release_cell,
+    check_gap,
+    recheck_rank,
+    finished
+  };
+
+  /// A rank in the claimed run is decided (consumed or dropped): move to
+  /// the next one, or re-claim / finish when the run is exhausted.
+  void advance_rank() {
+    ++rank_;
+    if (rank_ != end_) {
+      pc_ = pc::check_rank;
+    } else if (taken_ == quota_) {
+      pc_ = pc::finished;
+    } else {
+      pc_ = pc::load_tail;
+    }
+  }
+
+  pc pc_ = pc::load_tail;
+  int t_ = 0;
+  int h0_ = 0;
+  int rank_ = -1;
+  int end_ = -1;
+  int val_ = 0;
+  int taken_ = 0;
+  int quota_;
+  int batch_;
   consumer_mutation mut_;
   std::vector<int> last_from_;  ///< FIFO monitor: last value per producer
 };

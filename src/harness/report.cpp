@@ -1,6 +1,8 @@
 #include "ffq/harness/report.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -62,6 +64,65 @@ bool table::write_csv(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
+namespace {
+
+/// JSON string escaping for the characters that can plausibly appear in
+/// queue/config names; everything else passes through.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+/// Emit a cell as a bare number when the whole cell parses as one,
+/// otherwise as a quoted string.
+void emit_json_value(std::ofstream& f, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(v)) {
+      f << cell;
+      return;
+    }
+  }
+  f << '"' << json_escape(cell) << '"';
+}
+
+}  // namespace
+
+bool table::write_json(const std::string& path,
+                       const std::string& experiment) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "{\n  \"experiment\": \"" << json_escape(experiment) << "\",\n";
+  f << "  \"columns\": [";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) f << ", ";
+    f << '"' << json_escape(columns_[i]) << '"';
+  }
+  f << "],\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    f << "    {";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) f << ", ";
+      f << '"' << json_escape(columns_[i]) << "\": ";
+      emit_json_value(f, i < rows_[r].size() ? rows_[r][i] : "");
+    }
+    f << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  f << "  ]\n}\n";
+  return static_cast<bool>(f);
+}
+
 void print_experiment_header(const std::string& experiment_id,
                              const std::string& description) {
   const auto topo = ffq::runtime::cpu_topology::discover();
@@ -80,6 +141,8 @@ bench_cli bench_cli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       cli.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      cli.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
       cli.runs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
@@ -87,7 +150,9 @@ bench_cli bench_cli::parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       cli.quick = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("flags: --csv <path>  --runs <n>  --scale <f>  --quick\n");
+      std::printf(
+          "flags: --csv <path>  --json <path>  --runs <n>  --scale <f>  "
+          "--quick\n");
     }
   }
   if (cli.quick) {

@@ -33,6 +33,27 @@ world make_alg1(std::size_t cells, int items, std::vector<int> quotas,
   return w;
 }
 
+/// Bulk variant of make_alg1: 1 producer enqueueing `items` values in
+/// batches of `pbatch` (single tail store per batch); consumers run
+/// dequeue_bulk with run size `cbatch` when cbatch > 0, scalar dequeues
+/// when cbatch == 0.
+world make_alg1_bulk(std::size_t cells, int items, int pbatch, int cbatch,
+                     std::vector<int> quotas,
+                     producer_mutation pmut = producer_mutation::none,
+                     consumer_mutation cmut = consumer_mutation::none) {
+  world w(cells, items);
+  w.producer_ranges_ = {{1, items}};
+  w.threads_.push_back(std::make_unique<alg1_bulk_producer>(1, items, pbatch, pmut));
+  for (int q : quotas) {
+    if (cbatch > 0) {
+      w.threads_.push_back(std::make_unique<alg1_bulk_consumer>(q, cbatch, cmut));
+    } else {
+      w.threads_.push_back(std::make_unique<alg1_consumer>(q, cmut));
+    }
+  }
+  return w;
+}
+
 /// `producers` MPMC producers with `per` values each + consumers.
 world make_alg2(std::size_t cells, int producers, int per,
                 std::vector<int> quotas,
@@ -101,6 +122,35 @@ TEST(ModelAlg2, SingleCellRingVerifies) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched operations (DESIGN.md §5.8): the bulk machines keep Algorithm 1's
+// cell protocol, so the scalar invariants must carry over verbatim.
+// ---------------------------------------------------------------------------
+
+TEST(ModelAlg1Bulk, BulkProducerWithScalarConsumersVerifies) {
+  // enqueue_bulk defers the shared tail store to the batch boundary;
+  // scalar consumers never read the tail, so every interleaving must
+  // still deliver exactly once in FIFO order.
+  const auto r = check(make_alg1_bulk(2, 3, /*pbatch=*/2, /*cbatch=*/0, {2, 1}));
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(ModelAlg1Bulk, BulkProducerWithBulkConsumerVerifies) {
+  const auto r = check(make_alg1_bulk(2, 3, /*pbatch=*/2, /*cbatch=*/2, {3}));
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(ModelAlg1Bulk, TwoBulkConsumersVerify) {
+  // Two bulk consumers expose the stale-head claim race (head loaded,
+  // then fetched-and-added in a separate step) and runs that land on
+  // gap ranks; both must preserve exactly-once and liveness.
+  const auto r = check(make_alg1_bulk(2, 3, /*pbatch=*/2, /*cbatch=*/2, {2, 1}));
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+}
+
+// ---------------------------------------------------------------------------
 // Mutations: the checker must catch each removed safeguard.
 // ---------------------------------------------------------------------------
 
@@ -122,6 +172,26 @@ TEST(ModelAlg1, SkippingLine29RecheckIsCaught) {
                                  consumer_mutation::skip_line29_recheck));
   EXPECT_FALSE(r.ok) << "states=" << r.states;
   EXPECT_NE(r.violation.find("liveness"), std::string::npos) << r.violation;
+}
+
+TEST(ModelAlg1Bulk, PublishBeforeDataInBulkIsCaught) {
+  // The line 16/17 ordering is per cell, not per batch: deferring the
+  // tail store buys no licence to publish a rank before its data.
+  const auto r = check(make_alg1_bulk(2, 3, /*pbatch=*/2, /*cbatch=*/0, {2, 1},
+                                      producer_mutation::publish_before_data));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("safety"), std::string::npos) << r.violation;
+}
+
+TEST(ModelAlg1Bulk, SkippingRecheckInsideClaimedRunIsCaught) {
+  // Dropping a rank of the claimed run on gap >= rank alone (without the
+  // line-29 rank re-check) loses a just-published item exactly as in the
+  // scalar protocol; the claimed-run bookkeeping must not mask it.
+  const auto r = check(make_alg1_bulk(2, 4, /*pbatch=*/2, /*cbatch=*/2, {2, 2},
+                                      producer_mutation::none,
+                                      consumer_mutation::skip_line29_recheck));
+  EXPECT_FALSE(r.ok) << "states=" << r.states;
+  EXPECT_FALSE(r.violation.empty());
 }
 
 TEST(ModelAlg2, DirectPublishWithoutReserveIsCaught) {

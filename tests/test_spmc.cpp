@@ -244,3 +244,182 @@ TEST(SpmcQueue, MoveOnlyPayloadAcrossThreads) {
   for (auto& t : cs) t.join();
   EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
 }
+
+// ---------------------------------------------------------------------------
+// Batched operations (DESIGN.md §5.8). dequeue_bulk claims a run of ranks
+// with one fetch-and-add; ranks inside the run that turn out to be gaps
+// must be dropped in place, and a close() mid-run must surface a partial
+// batch rather than blocking.
+// ---------------------------------------------------------------------------
+
+TEST(SpmcQueueBulk, TryDequeueIsNonBlocking) {
+  spmc_queue<int> q(16);
+  int out = -1;
+  EXPECT_FALSE(q.try_dequeue(out)) << "empty queue must not block";
+  q.enqueue(7);
+  q.enqueue(8);
+  ASSERT_TRUE(q.try_dequeue(out));
+  EXPECT_EQ(out, 7);
+  ASSERT_TRUE(q.try_dequeue(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(q.try_dequeue(out));
+  q.close();
+  EXPECT_FALSE(q.try_dequeue(out));
+}
+
+TEST(SpmcQueueBulk, BulkRoundTripKeepsFifo) {
+  spmc_queue<std::uint64_t> q(64);
+  std::uint64_t in[32];
+  for (std::uint64_t i = 0; i < 32; ++i) in[i] = i;
+  q.enqueue_bulk(in, 32);
+  std::uint64_t out[8];
+  std::uint64_t expect = 0;
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_EQ(q.dequeue_bulk(out, 8), 8u);
+    for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], expect++);
+  }
+  EXPECT_EQ(q.approx_size(), 0);
+}
+
+TEST(SpmcQueueBulk, BulkAndScalarInterleaveOnSameQueue) {
+  spmc_queue<std::uint64_t> q(32);
+  std::uint64_t buf[4] = {0, 1, 2, 3};
+  q.enqueue_bulk(buf, 4);
+  q.enqueue(4);
+  buf[0] = 5;
+  buf[1] = 6;
+  q.enqueue_bulk(buf, 2);
+
+  std::uint64_t out;
+  ASSERT_TRUE(q.dequeue(out));
+  EXPECT_EQ(out, 0u);
+  std::uint64_t bulk_out[3];
+  ASSERT_EQ(q.dequeue_bulk(bulk_out, 3), 3u);
+  EXPECT_EQ(bulk_out[0], 1u);
+  EXPECT_EQ(bulk_out[2], 3u);
+  ASSERT_TRUE(q.try_dequeue(out));
+  EXPECT_EQ(out, 4u);
+  ASSERT_EQ(q.dequeue_bulk(bulk_out, 3), 2u) << "partial batch when drained";
+  EXPECT_EQ(bulk_out[0], 5u);
+  EXPECT_EQ(bulk_out[1], 6u);
+}
+
+TEST(SpmcQueueBulk, DequeueBulkReturnsPartialBatchAtClose) {
+  spmc_queue<int> q(16);
+  for (int i = 0; i < 5; ++i) q.enqueue(i);
+  q.close();
+  int out[8];
+  std::size_t n = q.dequeue_bulk(out, 8);
+  ASSERT_EQ(n, 5u) << "close() must surface the partial batch, not block";
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(q.dequeue_bulk(out, 8), 0u) << "drained + closed returns 0";
+}
+
+TEST(SpmcQueueBulk, DequeueBulkDropsGapInsideClaimedRun) {
+  // Same freeze-the-consumer setup as DeterministicGapCreationAndSkip,
+  // but the drain happens through one dequeue_bulk whose claimed run
+  // [2, 6) covers the gap at rank 4. The gap must be dropped in place —
+  // no fresh fetch-and-add — so the call returns the 3 real items.
+  spmc_queue<gated_value> q(4);
+  gate gt;
+
+  q.enqueue(gated_value(0, &gt));      // rank 0 -> cell 0
+  q.enqueue(gated_value(1, nullptr));  // rank 1 -> cell 1
+
+  gated_value slow_out;
+  std::thread slow([&] {
+    ASSERT_TRUE(q.dequeue(slow_out));  // rank 0; stalls inside the cell
+  });
+  while (!gt.entered.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  gated_value out;
+  ASSERT_TRUE(q.dequeue(out));  // rank 1 -> frees cell 1
+  EXPECT_EQ(out.v, 1);
+
+  q.enqueue(gated_value(2, nullptr));  // rank 2 -> cell 2
+  q.enqueue(gated_value(3, nullptr));  // rank 3 -> cell 3
+  q.enqueue(gated_value(4, nullptr));  // gap at rank 4, item at rank 5
+  ASSERT_EQ(q.gaps_created(), 1u);
+
+  gt.release.store(true, std::memory_order_release);
+  slow.join();
+  EXPECT_EQ(slow_out.v, 0);
+
+  gated_value run[8];
+  ASSERT_EQ(q.dequeue_bulk(run, 8), 3u)
+      << "run [2,6) holds items 2,3,4 plus one gap rank";
+  EXPECT_EQ(run[0].v, 2);
+  EXPECT_EQ(run[1].v, 3);
+  EXPECT_EQ(run[2].v, 4);
+  EXPECT_GE(q.consumer_skips(), 1u);
+
+  q.close();
+  EXPECT_EQ(q.dequeue_bulk(run, 8), 0u);
+}
+
+TEST(SpmcQueueBulk, StressMixedScalarAndBulkConsumers) {
+  // Two scalar and two bulk consumers share the ring while the producer
+  // alternates enqueue() and enqueue_bulk(). Conservation + per-consumer
+  // monotonicity prove the two claim paths compose.
+  spmc_queue<std::uint64_t> q(64);
+  constexpr std::uint64_t kItems = 60000;
+  std::atomic<std::uint64_t> total_count{0};
+  std::atomic<std::uint64_t> total_sum{0};
+  std::atomic<bool> order_ok{true};
+
+  auto account = [&](std::uint64_t count, std::uint64_t sum) {
+    total_count.fetch_add(count);
+    total_sum.fetch_add(sum);
+  };
+  std::vector<std::thread> cs;
+  for (int c = 0; c < 2; ++c) {
+    cs.emplace_back([&] {
+      std::uint64_t out, prev = 0, count = 0, sum = 0;
+      while (q.dequeue(out)) {
+        if (out <= prev) order_ok.store(false);
+        prev = out;
+        ++count;
+        sum += out;
+      }
+      account(count, sum);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    cs.emplace_back([&] {
+      std::uint64_t buf[8];
+      std::uint64_t prev = 0, count = 0, sum = 0;
+      std::size_t n;
+      while ((n = q.dequeue_bulk(buf, 8)) > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (buf[i] <= prev) order_ok.store(false);
+          prev = buf[i];
+          ++count;
+          sum += buf[i];
+        }
+      }
+      account(count, sum);
+    });
+  }
+
+  std::uint64_t next = 1;
+  std::uint64_t buf[8];
+  bool scalar_round = true;
+  while (next <= kItems) {
+    scalar_round = !scalar_round;
+    if (scalar_round || kItems - next + 1 < 8) {
+      q.enqueue(next);
+      ++next;
+    } else {
+      for (std::uint64_t i = 0; i < 8; ++i) buf[i] = next + i;
+      q.enqueue_bulk(buf, 8);
+      next += 8;
+    }
+  }
+  q.close();
+  for (auto& t : cs) t.join();
+
+  EXPECT_EQ(total_count.load(), kItems);
+  EXPECT_EQ(total_sum.load(), kItems * (kItems + 1) / 2);
+  EXPECT_TRUE(order_ok.load())
+      << "each consumer's values must be increasing across bulk batches";
+}

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <string>
@@ -175,6 +176,129 @@ INSTANTIATE_TEST_SUITE_P(
       return "cap" + std::to_string(std::get<0>(info.param)) + "_items" +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Bulk operations (DESIGN.md §5.8): single tail publication per batch on
+// the producer side, non-committal multi-item scan on the consumer side.
+// ---------------------------------------------------------------------------
+
+TEST(SpscQueueBulk, BulkRoundTripKeepsFifo) {
+  spsc_queue<int> q(16);
+  const int vals[] = {10, 11, 12, 13, 14};
+  q.enqueue_bulk(vals, 5);
+  EXPECT_EQ(q.approx_size(), 5) << "tail published once for the batch";
+  int out[8] = {};
+  EXPECT_EQ(q.try_dequeue_bulk(out, 8), 5u) << "partial batch: count taken";
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], 10 + i);
+  EXPECT_EQ(q.try_dequeue_bulk(out, 8), 0u);
+}
+
+TEST(SpscQueueBulk, BulkAndScalarInterleaveOnSameQueue) {
+  spsc_queue<int> q(64);
+  int next = 0, expect = 0, out;
+  int buf[4];
+  for (int round = 0; round < 20; ++round) {
+    q.enqueue(next++);
+    buf[0] = next++;
+    buf[1] = next++;
+    buf[2] = next++;
+    q.enqueue_bulk(buf, 3);
+    ASSERT_TRUE(q.try_dequeue(out));
+    ASSERT_EQ(out, expect++);
+    ASSERT_EQ(q.try_dequeue_bulk(buf, 3), 3u);
+    for (int i = 0; i < 3; ++i) ASSERT_EQ(buf[i], expect++);
+  }
+  EXPECT_EQ(expect, next);
+}
+
+TEST(SpscQueueBulk, DequeueBulkReturnsPartialBatchAtClose) {
+  spsc_queue<int> q(16);
+  const int vals[] = {1, 2, 3};
+  q.enqueue_bulk(vals, 3);
+  q.close();
+  int out[8] = {};
+  EXPECT_EQ(q.dequeue_bulk(out, 8), 3u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(q.dequeue_bulk(out, 8), 0u) << "closed and drained";
+}
+
+TEST(SpscQueueBulk, TryDequeueBulkStopsAtUnpublishedRank) {
+  spsc_queue<std::uint64_t> q(4);
+  std::uint64_t out[8];
+  for (std::uint64_t i = 0; i < 4; ++i) q.enqueue(i);       // ranks 0-3
+  ASSERT_EQ(q.try_dequeue_bulk(out, 2), 2u);                // frees cells 0,1
+  const std::uint64_t more[] = {4, 5};
+  q.enqueue_bulk(more, 2);  // wraps into the freed cells, no gap needed
+  ASSERT_EQ(q.gaps_created(), 0u);
+  ASSERT_EQ(q.try_dequeue_bulk(out, 8), 4u)
+      << "scan takes everything published, then stops without blocking";
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i + 2);
+  ASSERT_EQ(q.try_dequeue_bulk(out, 8), 0u);
+}
+
+TEST(SpscQueueBulk, StressTinyCapacityBulkConserves) {
+  // Capacity 2 with batch 8 maximizes wrap-arounds and near-full gap
+  // announcements; the bulk scan must follow every gap (conservation
+  // proves it — a missed gap would stall or lose items).
+  spsc_queue<std::uint64_t> q(2);
+  constexpr std::uint64_t kItems = 100000;
+  std::uint64_t sum = 0, count = 0;
+  std::thread consumer([&] {
+    std::uint64_t buf[8];
+    std::size_t n;
+    while ((n = q.dequeue_bulk(buf, 8)) > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        sum += buf[i];
+        ++count;
+      }
+    }
+  });
+  std::uint64_t buf[8];
+  std::uint64_t next = 1;
+  while (next <= kItems) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(8, kItems - next + 1);
+    for (std::uint64_t i = 0; i < chunk; ++i) buf[i] = next + i;
+    q.enqueue_bulk(buf, chunk);
+    next += chunk;
+  }
+  q.close();
+  consumer.join();
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
+
+TEST(SpscQueueBulk, ConcurrentBulkStreamConserves) {
+  spsc_queue<std::uint64_t> q(256);
+  constexpr std::uint64_t kItems = 100000;
+  constexpr std::size_t kBatch = 16;
+  std::uint64_t sum = 0, count = 0;
+  std::thread consumer([&] {
+    std::uint64_t buf[kBatch];
+    std::size_t n;
+    std::uint64_t prev = 0;
+    while ((n = q.dequeue_bulk(buf, kBatch)) > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_LT(prev, buf[i]) << "FIFO across and within batches";
+        prev = buf[i];
+        sum += buf[i];
+        ++count;
+      }
+    }
+  });
+  std::uint64_t buf[kBatch];
+  std::uint64_t next = 1;
+  while (next <= kItems) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(kBatch, kItems - next + 1);
+    for (std::uint64_t i = 0; i < chunk; ++i) buf[i] = next + i;
+    q.enqueue_bulk(buf, chunk);
+    next += chunk;
+  }
+  q.close();
+  consumer.join();
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
 
 // Tiny capacity forces the full-queue path (producer sweeps, announces
 // gaps while the consumer is mid-dequeue); correctness must hold and the

@@ -102,3 +102,32 @@ TEST(WaitableSpsc, HighRateStreamIsCorrect) {
   consumer.join();
   EXPECT_EQ(count, kItems);
 }
+
+TEST(WaitableSpsc, BulkPassThroughRoundTrips) {
+  waitable_spsc_queue<std::uint64_t> q(64);
+  std::uint64_t in[12];
+  for (std::uint64_t i = 0; i < 12; ++i) in[i] = i;
+  q.enqueue_bulk(in, 12);
+  std::uint64_t out[8];
+  ASSERT_EQ(q.try_dequeue_bulk(out, 8), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+  ASSERT_EQ(q.dequeue_bulk(out, 8), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i + 8);
+  q.close();
+  EXPECT_EQ(q.dequeue_bulk(out, 8), 0u);
+}
+
+TEST(WaitableSpsc, BulkEnqueueWakesParkedBulkConsumer) {
+  waitable_spsc_queue<int> q(64);
+  std::atomic<std::size_t> got{0};
+  std::thread consumer([&] {
+    int out[4];
+    got.store(q.dequeue_bulk(out, 4));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(got.load(), 0u);
+  const int batch[3] = {1, 2, 3};
+  q.enqueue_bulk(batch, 3);
+  consumer.join();
+  EXPECT_EQ(got.load(), 3u);
+}
