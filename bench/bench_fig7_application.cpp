@@ -22,6 +22,7 @@
 #include "ffq/runtime/timing.hpp"
 #include "ffq/runtime/topology.hpp"
 #include "ffq/sgxsim/syscall_service.hpp"
+#include "ffq/telemetry/registry.hpp"
 
 using namespace ffq;
 using namespace ffq::harness;
@@ -130,7 +131,12 @@ int main(int argc, char** argv) {
   }
 
   // --- right panel: single-thread end-to-end latency --------------------
-  table right({"variant", "avg latency (cycles)", "avg latency (ns)"});
+  // collect_telemetry turns on the per-thread latency histograms: the
+  // paper reports the average; the percentile columns expose the tail
+  // the average hides (DESIGN.md §8).
+  telemetry::registry::instance().reset();
+  table right({"variant", "avg latency (cycles)", "avg latency (ns)",
+               "p50 (ns)", "p99 (ns)", "p999 (ns)"});
   for (auto v : {service_variant::native, service_variant::sgx_sync,
                  service_variant::sgx_mpmc, service_variant::sgx_ffq}) {
     service_config cfg;
@@ -138,13 +144,31 @@ int main(int argc, char** argv) {
     cfg.app_threads = 1;
     cfg.os_threads = 1;
     cfg.calls_per_thread = calls;
+    cfg.collect_telemetry = true;
     const auto r = run_avg(cfg, runs);
+    const auto e2e = telemetry::registry::instance()
+                         .recorder(std::string("syscall.") + to_string(v) +
+                                   ".e2e_ns")
+                         .merge()
+                         .summary();
     right.add_row({to_string(v), fixed(r.avg_latency_cycles, 0),
                    fixed(ffq::runtime::tsc_to_ns(
                              static_cast<std::uint64_t>(r.avg_latency_cycles)),
-                         0)});
+                         0),
+                   std::to_string(e2e.p50), std::to_string(e2e.p99),
+                   std::to_string(e2e.p999)});
   }
   std::printf("\nlatency (single app thread):\n%s", right.str().c_str());
+
+  const auto snap = telemetry::registry::instance().snapshot();
+  if (!cli.json_path.empty() &&
+      right.write_json(cli.json_path, "fig7_application_latency",
+                       snap.empty() ? nullptr : &snap)) {
+    std::printf("json written to %s\n", cli.json_path.c_str());
+  }
+  if (!cli.metrics_path.empty() && snap.write_json_file(cli.metrics_path)) {
+    std::printf("metrics written to %s\n", cli.metrics_path.c_str());
+  }
 
   std::printf(
       "\npaper reference: FFQ ~5x the external-MPMC throughput, scaling "

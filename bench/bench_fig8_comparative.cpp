@@ -22,6 +22,7 @@
 #include "ffq/harness/pairwise.hpp"
 #include "ffq/harness/report.hpp"
 #include "ffq/harness/stats.hpp"
+#include "ffq/telemetry/registry.hpp"
 
 using namespace ffq;
 using namespace ffq::harness;
@@ -74,8 +75,29 @@ int main(int argc, char** argv) {
   bench_queue<htm_adapter>(t, cli, threads);
 
   std::printf("\n%s", t.str().c_str());
+
+  // The pairwise harness folds every FFQ queue's event counters into the
+  // registry as the queue dies; export them alongside the table. In a
+  // default (FFQ_TELEMETRY=OFF) build the snapshot is empty.
+  const auto snap = telemetry::registry::instance().snapshot();
+  if (!snap.counters.empty()) {
+    std::printf("\nqueue event counters (telemetry):\n");
+    for (const auto& [key, value] : snap.counters) {
+      std::printf("  %-48s %llu\n", key.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+
   if (!cli.csv_path.empty() && t.write_csv(cli.csv_path)) {
     std::printf("csv written to %s\n", cli.csv_path.c_str());
+  }
+  if (!cli.json_path.empty() &&
+      t.write_json(cli.json_path, "fig8_comparative",
+                   snap.empty() ? nullptr : &snap)) {
+    std::printf("json written to %s\n", cli.json_path.c_str());
+  }
+  if (!cli.metrics_path.empty() && snap.write_json_file(cli.metrics_path)) {
+    std::printf("metrics written to %s\n", cli.metrics_path.c_str());
   }
   std::printf(
       "\npaper reference (Skylake/Haswell/P8): FFQ^m consistently among "

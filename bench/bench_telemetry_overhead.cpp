@@ -1,0 +1,156 @@
+// bench_telemetry_overhead — proves the telemetry policy's cost model
+// (ISSUE 2 / DESIGN.md §8):
+//
+//   * OFF is free by construction: `queue_counters<disabled>` is an
+//     empty class held through [[no_unique_address]] with no-op inline
+//     members, so a disabled-policy queue is byte-identical to the
+//     pre-telemetry layout (static_asserts in tests/test_telemetry.cpp)
+//     and its hot path compiles to the same code. The disabled rows
+//     below ARE the baseline.
+//   * ON must stay under 5% on the pairwise workload: every counter
+//     lives on a miss/contention path (gap, skip, retry, stall), never
+//     on the uncontended enqueue/dequeue fast path, and bumps are
+//     relaxed fetch-adds on queue-local lines.
+//
+// Both policies are instantiated in this one binary — the comparison
+// needs no rebuild and is independent of the FFQ_TELEMETRY build mode.
+// Think time is disabled (0 ns) so queue-operation cost is the entire
+// measurement: the overhead reported here is the worst case, real
+// workloads dilute it with actual work.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ffq/harness/pairwise.hpp"
+#include "ffq/harness/report.hpp"
+#include "ffq/harness/stats.hpp"
+#include "ffq/telemetry/registry.hpp"
+#include "ffq/telemetry/telemetry.hpp"
+
+using namespace ffq;
+using namespace ffq::harness;
+
+namespace {
+
+template <typename Q, const char* Name>
+struct policy_adapter {
+  using queue_type = Q;
+  struct context {};
+  static const char* name() { return Name; }
+  static queue_type* create(const bench_params& p) {
+    return new queue_type(p.capacity);
+  }
+  static context make_context(queue_type&, int) { return {}; }
+  static void enqueue(queue_type& q, context&, std::uint64_t v) {
+    q.enqueue(v);
+  }
+  static bool dequeue(queue_type& q, context&, std::uint64_t& out) {
+    return q.dequeue(out);
+  }
+};
+
+constexpr char kSpscOff[] = "spsc/off";
+constexpr char kSpscOn[] = "spsc/on";
+constexpr char kSpmcOff[] = "spmc/off";
+constexpr char kSpmcOn[] = "spmc/on";
+constexpr char kMpmcOff[] = "mpmc/off";
+constexpr char kMpmcOn[] = "mpmc/on";
+
+template <typename Telemetry>
+using spsc_q = core::spsc_queue<std::uint64_t, core::layout_aligned, Telemetry>;
+template <typename Telemetry>
+using spmc_q = core::spmc_queue<std::uint64_t, core::layout_aligned, Telemetry>;
+template <typename Telemetry>
+using mpmc_q = core::mpmc_queue<std::uint64_t, core::layout_aligned, Telemetry>;
+
+struct family_result {
+  std::string family;
+  double off_ns_op = 0.0;
+  double on_ns_op = 0.0;
+  double overhead_pct = 0.0;
+};
+
+template <typename OffAdapter, typename OnAdapter>
+family_result measure(const char* family, int threads, const bench_cli& cli) {
+  pairwise_config cfg;
+  cfg.threads = threads;
+  cfg.total_pairs = static_cast<std::uint64_t>(2'000'000 * cli.scale);
+  if (cfg.total_pairs < 20000) cfg.total_pairs = 20000;
+  cfg.think_min_ns = 0;  // no think time: measure pure queue-op cost
+  cfg.think_max_ns = 0;
+  cfg.params.capacity = 1 << 16;
+
+  // Interleave OFF/ON runs so slow drift (thermal, noisy neighbours)
+  // hits both policies equally, and compare best-of-N: with identical
+  // per-op work the fastest observed run is the least-perturbed one, so
+  // min-of-N converges on the true cost where a median still carries
+  // scheduler noise (this repo's CI containers are 1-2 shared cores).
+  std::vector<double> off_ops, on_ops;
+  const int reps = std::max(cli.runs, 7);
+  for (int r = 0; r < reps; ++r) {
+    pairwise_config c = cfg;
+    c.seed = cfg.seed + static_cast<std::uint64_t>(r) * 977;
+    off_ops.push_back(run_pairwise_once<OffAdapter>(c));
+    on_ops.push_back(run_pairwise_once<OnAdapter>(c));
+  }
+
+  family_result res;
+  res.family = family;
+  res.off_ns_op = 1e9 / summarize(off_ops).max;  // max ops/s == min ns/op
+  res.on_ns_op = 1e9 / summarize(on_ops).max;
+  res.overhead_pct = (res.on_ns_op / res.off_ns_op - 1.0) * 100.0;
+  std::printf("done: %s (%d thread%s)\n", family, threads,
+              threads == 1 ? "" : "s");
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = bench_cli::parse(argc, argv);
+  print_experiment_header(
+      "Telemetry overhead — enabled vs disabled counter policy",
+      "Pairwise enqueue/dequeue loop with zero think time; both policies "
+      "in one binary. disabled == pre-telemetry baseline by construction.");
+
+  std::vector<family_result> results;
+  results.push_back(
+      measure<policy_adapter<spsc_q<telemetry::disabled>, kSpscOff>,
+              policy_adapter<spsc_q<telemetry::enabled>, kSpscOn>>("ffq-spsc",
+                                                                   1, cli));
+  results.push_back(
+      measure<policy_adapter<spmc_q<telemetry::disabled>, kSpmcOff>,
+              policy_adapter<spmc_q<telemetry::enabled>, kSpmcOn>>("ffq-spmc",
+                                                                   1, cli));
+  results.push_back(
+      measure<policy_adapter<mpmc_q<telemetry::disabled>, kMpmcOff>,
+              policy_adapter<mpmc_q<telemetry::enabled>, kMpmcOn>>("ffq-mpmc",
+                                                                   2, cli));
+
+  table t({"queue", "disabled ns/op", "enabled ns/op", "overhead %"});
+  bool all_within_budget = true;
+  for (const auto& r : results) {
+    t.add_row({r.family, fixed(r.off_ns_op, 2), fixed(r.on_ns_op, 2),
+               fixed(r.overhead_pct, 2)});
+    if (r.overhead_pct >= 5.0) all_within_budget = false;
+  }
+  std::printf("\n%s", t.str().c_str());
+  std::printf("\nbudget: enabled-policy overhead must stay < 5%% -> %s\n",
+              all_within_budget ? "PASS" : "FAIL");
+
+  // The enabled-policy runs fed the registry through the pairwise
+  // harness; exporting the snapshot demonstrates the full pipeline.
+  const auto snap = telemetry::registry::instance().snapshot();
+  if (!cli.csv_path.empty() && t.write_csv(cli.csv_path)) {
+    std::printf("csv written to %s\n", cli.csv_path.c_str());
+  }
+  if (!cli.json_path.empty() &&
+      t.write_json(cli.json_path, "telemetry_overhead",
+                   snap.empty() ? nullptr : &snap)) {
+    std::printf("json written to %s\n", cli.json_path.c_str());
+  }
+  if (!cli.metrics_path.empty() && snap.write_json_file(cli.metrics_path)) {
+    std::printf("metrics written to %s\n", cli.metrics_path.c_str());
+  }
+  return all_within_budget ? 0 : 1;
+}

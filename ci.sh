@@ -1,25 +1,35 @@
 #!/usr/bin/env bash
 # ci.sh — the checks a PR must pass.
 #
-#  1. tier-1 verify: full RelWithDebInfo build + the whole ctest suite;
-#  2. TSan sweep: the three core queue test binaries (test_spsc,
-#     test_spmc, test_mpmc) rebuilt with -fsanitize=thread and run to
-#     completion — any reported race fails the script.
+#  1. tier-1 verify: full RelWithDebInfo build + the whole ctest suite
+#     (FFQ_TELEMETRY=OFF, the default — the zero-cost configuration);
+#  2. telemetry leg: the same build + full suite with FFQ_TELEMETRY=ON,
+#     so both sides of the compile-time policy stay green;
+#  3. TSan sweep: the core queue test binaries plus the telemetry suite
+#     rebuilt with -fsanitize=thread (telemetry ON, so the instrumented
+#     hot paths are the ones checked) and run to completion — any
+#     reported race fails the script.
 #
 # Usage: ./ci.sh [jobs]   (defaults to nproc)
 set -euo pipefail
 cd "$(dirname "$0")"
 JOBS="${1:-$(nproc)}"
 
-echo "=== tier-1: build + full test suite ==="
+echo "=== tier-1: build + full test suite (FFQ_TELEMETRY=OFF) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== tsan: core queue suites under ThreadSanitizer ==="
+echo "=== telemetry: build + full test suite (FFQ_TELEMETRY=ON) ==="
+cmake --preset telemetry >/dev/null
+cmake --build build-telemetry -j "$JOBS"
+ctest --test-dir build-telemetry --output-on-failure -j "$JOBS"
+
+echo "=== tsan: queue + telemetry suites under ThreadSanitizer ==="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_spsc test_spmc test_mpmc
-for t in test_spsc test_spmc test_mpmc; do
+cmake --build build-tsan -j "$JOBS" \
+  --target test_spsc test_spmc test_mpmc test_waitable test_telemetry
+for t in test_spsc test_spmc test_mpmc test_waitable test_telemetry; do
   echo "--- $t (tsan) ---"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done

@@ -37,8 +37,11 @@ int main(int argc, char** argv) {
 
   // Small ring on purpose: with long-running tasks in flight the
   // producer regularly wraps onto busy cells and exercises the gap
-  // protocol (watch the statistics below).
-  ffq::core::spmc_queue<task> q(64);
+  // protocol (watch the statistics below). The explicit enabled
+  // telemetry policy keeps the gap statistics live in any build mode.
+  ffq::core::spmc_queue<task, ffq::core::layout_aligned,
+                        ffq::telemetry::enabled>
+      q(64);
 
   std::vector<std::thread> pool;
   std::vector<std::uint64_t> done(workers, 0);

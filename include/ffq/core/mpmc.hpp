@@ -31,6 +31,7 @@
 #include "ffq/runtime/backoff.hpp"
 #include "ffq/runtime/cacheline.hpp"
 #include "ffq/runtime/dwcas.hpp"
+#include "ffq/telemetry/counters.hpp"
 
 namespace ffq::core {
 
@@ -64,7 +65,8 @@ struct alignas(ffq::runtime::kCacheLineSize) mpmc_cell<T, true>
 
 }  // namespace detail
 
-template <typename T, typename Layout = layout_aligned>
+template <typename T, typename Layout = layout_aligned,
+          typename Telemetry = ffq::telemetry::default_policy>
 class mpmc_queue {
   static_assert(std::is_nothrow_move_constructible_v<T>,
                 "cell publication cannot be rolled back after a throwing move");
@@ -72,6 +74,7 @@ class mpmc_queue {
  public:
   using value_type = T;
   using layout_type = Layout;
+  using telemetry_policy = Telemetry;
   static constexpr const char* kName = "ffq-mpmc";
 
   explicit mpmc_queue(std::size_t capacity)
@@ -115,6 +118,7 @@ class mpmc_queue {
   void enqueue_bulk(It first, std::size_t n) noexcept {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
+    tel_.on_bulk(n);
     std::size_t gaps_this_call = 0;
     std::size_t remaining = n;
     std::int64_t next = 0;
@@ -126,6 +130,7 @@ class mpmc_queue {
           next = tail_->fetch_add(static_cast<std::int64_t>(remaining),
                                   std::memory_order_relaxed);
           block_end = next + static_cast<std::int64_t>(remaining);
+          tel_.on_rank_block_faa();
         }
         const std::int64_t rank = next++;
         if (place_at_rank(rank, item, gaps_this_call)) break;
@@ -190,6 +195,7 @@ class mpmc_queue {
                           static_cast<std::int64_t>(max_n), avail)
                     : 1;
       const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
+      if (k > 1) tel_.on_rank_block_faa();
       std::size_t taken = 0;
       bool drained = false;
       for (std::int64_t rank = first; rank < first + k && !drained; ++rank) {
@@ -207,7 +213,10 @@ class mpmc_queue {
             break;
         }
       }
-      if (taken > 0 || drained) return taken;
+      if (taken > 0 || drained) {
+        if (taken > 0) tel_.on_bulk(taken);
+        return taken;
+      }
     }
   }
 
@@ -231,11 +240,14 @@ class mpmc_queue {
     return t > h ? t - h : 0;
   }
 
-  std::uint64_t gaps_created() const noexcept {
-    return gaps_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t gaps_created() const noexcept { return tel_.gaps_created(); }
   std::uint64_t consumer_skips() const noexcept {
-    return skips_.load(std::memory_order_relaxed);
+    return tel_.consumer_skips();
+  }
+
+  /// The queue's event-counter block (empty under the disabled policy).
+  const ffq::telemetry::queue_counters<Telemetry>& telemetry() const noexcept {
+    return tel_;
   }
 
  private:
@@ -249,12 +261,24 @@ class mpmc_queue {
                      std::size_t& gaps_this_call) noexcept {
     auto& c = cells_[cap_.template slot<Layout>(rank)];
     ffq::runtime::yielding_backoff backoff;
+    // Spin telemetry accumulates in registers and flushes once per
+    // return — one RMW per episode, not one per pause. The wait loops
+    // below also flush every kFlushEvery pauses so a producer stuck on a
+    // full ring stays visible to live snapshots.
+    std::uint64_t stalls = 0, pauses = 0, retries = 0;
+    const auto flush_waits = [&]() noexcept {
+      tel_.on_full_stalls(stalls);
+      tel_.on_backoff_pauses(pauses);
+      tel_.on_dwcas_retries(retries);
+      stalls = pauses = retries = 0;
+    };
     for (;;) {
       const std::int64_t g = c.rg.second.load(std::memory_order_acquire);
       if (g >= rank) {
         // Our rank is already "in the past" at this cell (another
         // producer announced a gap covering it): abandon the rank —
         // consumers skip it via the same gap — and draw a fresh one.
+        flush_waits();
         return false;
       }
       const std::int64_t r = c.rg.first.load(std::memory_order_acquire);
@@ -274,6 +298,8 @@ class mpmc_queue {
           // parked on our rank behind it — waiting would deadlock that
           // consumer, so the gap for our rank must be announced.
           // (Found by the model checker; see tests/test_model.cpp.)
+          ++stalls;
+          if (ffq::telemetry::flush_due(stalls)) flush_waits();
           backoff.pause();
           continue;
         }
@@ -282,10 +308,12 @@ class mpmc_queue {
         // then re-examine the cell.
         typename ffq::runtime::atomic_i64_pair::value_type expected{r, g};
         if (c.rg.compare_exchange(expected, {r, rank})) {
-          gaps_.fetch_add(1, std::memory_order_relaxed);
+          tel_.on_gap_created();
           ++gaps_this_call;
+          flush_waits();
           return false;  // gap announced for our rank; acquire a new rank
         }
+        ++retries;
         continue;
       }
       if (r == detail::kCellFree) {
@@ -296,12 +324,16 @@ class mpmc_queue {
         if (c.rg.compare_exchange(expected, {detail::kCellReserved, g})) {
           std::construct_at(c.ptr(), std::move(value));
           c.rg.first.store(rank, std::memory_order_release);  // publish
+          flush_waits();
           return true;
         }
+        ++retries;
         continue;
       }
       // r == kCellReserved: another producer is between its claim and
       // its publish; wait for it (this is the non-wait-free window).
+      ++pauses;
+      if (ffq::telemetry::flush_due(pauses)) flush_waits();
       backoff.pause();
     }
   }
@@ -314,20 +346,31 @@ class mpmc_queue {
   rank_state resolve_rank(std::int64_t rank, Sink&& sink) noexcept {
     auto& c = cells_[cap_.template slot<Layout>(rank)];
     ffq::runtime::yielding_backoff backoff;
+    std::uint64_t pauses = 0;  // flushed once per episode, not per pause
     for (;;) {
       if (c.rg.first.load(std::memory_order_acquire) == rank) {
         sink(std::move(*c.ptr()));
         std::destroy_at(c.ptr());
         c.rg.first.store(detail::kCellFree, std::memory_order_release);
+        tel_.on_backoff_pauses(pauses);
         return rank_state::taken;
       }
       if (c.rg.second.load(std::memory_order_acquire) >= rank &&
           c.rg.first.load(std::memory_order_acquire) != rank) {
-        skips_.fetch_add(1, std::memory_order_relaxed);
+        tel_.on_consumer_skip();
+        tel_.on_backoff_pauses(pauses);
         return rank_state::skipped;
       }
       const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
-      if (closed >= 0 && rank >= closed) return rank_state::drained;
+      if (closed >= 0 && rank >= closed) {
+        tel_.on_backoff_pauses(pauses);
+        return rank_state::drained;
+      }
+      ++pauses;
+      if (ffq::telemetry::flush_due(pauses)) {
+        tel_.on_backoff_pauses(pauses);
+        pauses = 0;
+      }
       backoff.pause();
     }
   }
@@ -337,8 +380,9 @@ class mpmc_queue {
   ffq::runtime::padded<std::atomic<std::int64_t>> tail_{0};
   ffq::runtime::padded<std::atomic<std::int64_t>> head_{0};
   std::atomic<std::int64_t> closed_tail_{-1};
-  std::atomic<std::uint64_t> gaps_{0};
-  std::atomic<std::uint64_t> skips_{0};
+  // Replaces the old ad-hoc gaps_/skips_ pair. Empty under the disabled
+  // policy (static_asserts in tests/test_telemetry.cpp).
+  [[no_unique_address]] ffq::telemetry::queue_counters<Telemetry> tel_;
 };
 
 }  // namespace ffq::core

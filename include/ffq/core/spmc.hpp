@@ -49,6 +49,7 @@
 #include "ffq/runtime/aligned_buffer.hpp"
 #include "ffq/runtime/backoff.hpp"
 #include "ffq/runtime/cacheline.hpp"
+#include "ffq/telemetry/counters.hpp"
 
 namespace ffq::core {
 
@@ -79,7 +80,8 @@ struct alignas(ffq::runtime::kCacheLineSize) spmc_cell<T, true>
 /// policies in layout.hpp. Capacity must be a power of two and must
 /// exceed the maximum number of in-flight items (the paper's implicit
 /// flow-control assumption) for enqueue to stay wait-free.
-template <typename T, typename Layout = layout_aligned>
+template <typename T, typename Layout = layout_aligned,
+          typename Telemetry = ffq::telemetry::default_policy>
 class spmc_queue {
   static_assert(std::is_nothrow_move_constructible_v<T>,
                 "cell publication cannot be rolled back after a throwing move");
@@ -87,6 +89,7 @@ class spmc_queue {
  public:
   using value_type = T;
   using layout_type = Layout;
+  using telemetry_policy = Telemetry;
   static constexpr const char* kName = "ffq-spmc";
 
   explicit spmc_queue(std::size_t capacity)
@@ -114,6 +117,7 @@ class spmc_queue {
            "enqueue after close()");
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
+    std::uint64_t stalls = 0;  // flushed once per call, not per pause
     ffq::runtime::yielding_backoff full_backoff;
     for (;;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
@@ -126,6 +130,11 @@ class spmc_queue {
           // instead (footnote 2: "the producer would spin until a slot
           // becomes available"). Wait-freedom is already forfeit in this
           // regime.
+          ++stalls;
+          if (ffq::telemetry::flush_due(stalls)) {
+            tel_.on_full_stalls(stalls);
+            stalls = 0;
+          }
           full_backoff.pause();
           continue;
         }
@@ -136,7 +145,7 @@ class spmc_queue {
         // need ("gap ≥ rank").
         c.gap.store(t, std::memory_order_release);
         ++t;
-        ++gaps_created_;
+        tel_.on_gap_created();
         ++consecutive_skips;
         continue;
       }
@@ -145,6 +154,7 @@ class spmc_queue {
       ++t;
       break;
     }
+    tel_.on_full_stalls(stalls);
     tail_->store(t, std::memory_order_release);
   }
 
@@ -157,19 +167,26 @@ class spmc_queue {
   void enqueue_bulk(It first, std::size_t n) noexcept {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
+    tel_.on_bulk(n);
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
+    std::uint64_t stalls = 0;
     ffq::runtime::yielding_backoff full_backoff;
     for (std::size_t i = 0; i < n;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
+          ++stalls;
+          if (ffq::telemetry::flush_due(stalls)) {
+            tel_.on_full_stalls(stalls);
+            stalls = 0;
+          }
           full_backoff.pause();
           continue;
         }
         c.gap.store(t, std::memory_order_release);
         ++t;
-        ++gaps_created_;
+        tel_.on_gap_created();
         ++consecutive_skips;
         continue;
       }
@@ -180,6 +197,7 @@ class spmc_queue {
       ++i;
       consecutive_skips = 0;
     }
+    tel_.on_full_stalls(stalls);
     tail_->store(t, std::memory_order_release);  // one publication per batch
   }
 
@@ -245,6 +263,7 @@ class spmc_queue {
                           static_cast<std::int64_t>(max_n), avail)
                     : 1;  // claim one rank to preserve blocking semantics
       const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
+      if (k > 1) tel_.on_rank_block_faa();
       std::size_t taken = 0;
       bool drained = false;
       for (std::int64_t rank = first; rank < first + k && !drained; ++rank) {
@@ -264,7 +283,10 @@ class spmc_queue {
             break;
         }
       }
-      if (taken > 0 || drained) return taken;
+      if (taken > 0 || drained) {
+        if (taken > 0) tel_.on_bulk(taken);
+        return taken;
+      }
       // Whole run was gaps: claim again (equivalent to dequeue()'s
       // skip-and-redraw, amortized).
     }
@@ -292,13 +314,19 @@ class spmc_queue {
     return t > h ? t - h : 0;
   }
 
-  /// Number of gap announcements the producer has made (producer-thread
-  /// accurate; other threads see a stale value).
-  std::uint64_t gaps_created() const noexcept { return gaps_created_; }
+  /// Number of gap announcements the producer has made (0 under the
+  /// disabled telemetry policy).
+  std::uint64_t gaps_created() const noexcept { return tel_.gaps_created(); }
 
-  /// Number of times consumers abandoned a skipped rank.
+  /// Number of times consumers abandoned a skipped rank (0 under the
+  /// disabled telemetry policy).
   std::uint64_t consumer_skips() const noexcept {
-    return skips_.load(std::memory_order_relaxed);
+    return tel_.consumer_skips();
+  }
+
+  /// The queue's event-counter block (empty under the disabled policy).
+  const ffq::telemetry::queue_counters<Telemetry>& telemetry() const noexcept {
+    return tel_;
   }
 
  private:
@@ -314,6 +342,7 @@ class spmc_queue {
   rank_state resolve_rank(std::int64_t rank, Sink&& sink) noexcept {
     auto& c = cells_[cap_.template slot<Layout>(rank)];
     ffq::runtime::yielding_backoff backoff;
+    std::uint64_t pauses = 0;  // flushed once per episode, not per pause
     for (;;) {
       if (c.rank.load(std::memory_order_acquire) == rank) {
         // Exactly one consumer can observe its own rank here (ranks are
@@ -321,6 +350,7 @@ class spmc_queue {
         sink(std::move(*c.ptr()));
         std::destroy_at(c.ptr());
         c.rank.store(-1, std::memory_order_release);  // linearization point
+        tel_.on_backoff_pauses(pauses);
         return rank_state::taken;
       }
       // Skipped? gap must be read before the rank re-check: the
@@ -329,12 +359,21 @@ class spmc_queue {
       // subsequent traversal (paper's line-29 discussion).
       if (c.gap.load(std::memory_order_acquire) >= rank &&
           c.rank.load(std::memory_order_acquire) != rank) {
-        skips_.fetch_add(1, std::memory_order_relaxed);
+        tel_.on_consumer_skip();
+        tel_.on_backoff_pauses(pauses);
         return rank_state::skipped;
       }
       // Producer still writing (or queue empty): back off briefly.
       const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
-      if (closed >= 0 && rank >= closed) return rank_state::drained;
+      if (closed >= 0 && rank >= closed) {
+        tel_.on_backoff_pauses(pauses);
+        return rank_state::drained;
+      }
+      ++pauses;
+      if (ffq::telemetry::flush_due(pauses)) {
+        tel_.on_backoff_pauses(pauses);
+        pauses = 0;
+      }
       backoff.pause();
     }
   }
@@ -346,8 +385,10 @@ class spmc_queue {
   ffq::runtime::padded<std::atomic<std::int64_t>> tail_{0};
   ffq::runtime::padded<std::atomic<std::int64_t>> head_{0};
   std::atomic<std::int64_t> closed_tail_{-1};
-  std::uint64_t gaps_created_ = 0;
-  std::atomic<std::uint64_t> skips_{0};
+  // Replaces the old ad-hoc gaps_created_/skips_ pair. Empty under the
+  // disabled policy, so sizeof matches the uninstrumented layout
+  // (static_asserts in tests/test_telemetry.cpp).
+  [[no_unique_address]] ffq::telemetry::queue_counters<Telemetry> tel_;
 };
 
 }  // namespace ffq::core

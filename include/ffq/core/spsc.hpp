@@ -25,10 +25,15 @@
 #include "ffq/runtime/aligned_buffer.hpp"
 #include "ffq/runtime/backoff.hpp"
 #include "ffq/runtime/cacheline.hpp"
+#include "ffq/telemetry/counters.hpp"
 
 namespace ffq::core {
 
-template <typename T, typename Layout = layout_aligned>
+template <typename T, typename Layout, typename Telemetry>
+class waitable_spsc_queue;
+
+template <typename T, typename Layout = layout_aligned,
+          typename Telemetry = ffq::telemetry::default_policy>
 class spsc_queue {
   static_assert(std::is_nothrow_move_constructible_v<T>,
                 "cell publication cannot be rolled back after a throwing move");
@@ -36,6 +41,7 @@ class spsc_queue {
  public:
   using value_type = T;
   using layout_type = Layout;
+  using telemetry_policy = Telemetry;
   static constexpr const char* kName = "ffq-spsc";
 
   explicit spsc_queue(std::size_t capacity)
@@ -61,6 +67,7 @@ class spsc_queue {
            "enqueue after close()");
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
+    std::uint64_t stalls = 0;  // flushed once per call, not per pause
     ffq::runtime::yielding_backoff full_backoff;
     for (;;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
@@ -69,12 +76,17 @@ class spsc_queue {
           // Full ring (free-slot assumption violated): wait for this cell
           // instead of flooding the consumer with gap ranks. See the
           // matching comment in spmc_queue::enqueue.
+          ++stalls;
+          if (ffq::telemetry::flush_due(stalls)) {
+            tel_.on_full_stalls(stalls);
+            stalls = 0;
+          }
           full_backoff.pause();
           continue;
         }
         c.gap.store(t, std::memory_order_release);
         ++t;
-        ++gaps_created_;
+        tel_.on_gap_created();
         ++consecutive_skips;
         continue;
       }
@@ -83,6 +95,7 @@ class spsc_queue {
       ++t;
       break;
     }
+    tel_.on_full_stalls(stalls);
     tail_->store(t, std::memory_order_release);
   }
 
@@ -93,19 +106,26 @@ class spsc_queue {
   void enqueue_bulk(It first, std::size_t n) noexcept {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
+    tel_.on_bulk(n);
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
+    std::uint64_t stalls = 0;
     ffq::runtime::yielding_backoff full_backoff;
     for (std::size_t i = 0; i < n;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
+          ++stalls;
+          if (ffq::telemetry::flush_due(stalls)) {
+            tel_.on_full_stalls(stalls);
+            stalls = 0;
+          }
           full_backoff.pause();
           continue;
         }
         c.gap.store(t, std::memory_order_release);
         ++t;
-        ++gaps_created_;
+        tel_.on_gap_created();
         ++consecutive_skips;
         continue;
       }
@@ -116,6 +136,7 @@ class spsc_queue {
       ++i;
       consecutive_skips = 0;
     }
+    tel_.on_full_stalls(stalls);
     tail_->store(t, std::memory_order_release);  // one publication per batch
   }
 
@@ -136,6 +157,7 @@ class spsc_queue {
       if (c.gap.load(std::memory_order_acquire) >= h &&
           c.rank.load(std::memory_order_acquire) != h) {
         ++h;  // our rank was skipped; advance past the gap
+        tel_.on_consumer_skip();
         continue;
       }
       (*head_) = h;  // remember progress past consumed gaps
@@ -147,10 +169,22 @@ class spsc_queue {
   /// close() once everything produced has been drained.
   bool dequeue(T& out) noexcept {
     ffq::runtime::yielding_backoff backoff;
+    std::uint64_t pauses = 0;  // flushed once per call, not per pause
     for (;;) {
-      if (try_dequeue(out)) return true;
+      if (try_dequeue(out)) {
+        tel_.on_backoff_pauses(pauses);
+        return true;
+      }
       const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
-      if (closed >= 0 && (*head_) >= closed) return false;
+      if (closed >= 0 && (*head_) >= closed) {
+        tel_.on_backoff_pauses(pauses);
+        return false;
+      }
+      ++pauses;
+      if (ffq::telemetry::flush_due(pauses)) {
+        tel_.on_backoff_pauses(pauses);
+        pauses = 0;
+      }
       backoff.pause();
     }
   }
@@ -176,6 +210,7 @@ class spsc_queue {
       if (c.gap.load(std::memory_order_acquire) >= h &&
           c.rank.load(std::memory_order_acquire) != h) {
         ++h;  // gap rank: advance past it within the same scan
+        tel_.on_consumer_skip();
         continue;
       }
       break;  // next rank not published yet
@@ -190,11 +225,24 @@ class spsc_queue {
   std::size_t dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
     if (max_n == 0) return 0;
     ffq::runtime::yielding_backoff backoff;
+    std::uint64_t pauses = 0;
     for (;;) {
       const std::size_t n = try_dequeue_bulk(out, max_n);
-      if (n > 0) return n;
+      if (n > 0) {
+        tel_.on_bulk(n);
+        tel_.on_backoff_pauses(pauses);
+        return n;
+      }
       const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
-      if (closed >= 0 && (*head_) >= closed) return 0;
+      if (closed >= 0 && (*head_) >= closed) {
+        tel_.on_backoff_pauses(pauses);
+        return 0;
+      }
+      ++pauses;
+      if (ffq::telemetry::flush_due(pauses)) {
+        tel_.on_backoff_pauses(pauses);
+        pauses = 0;
+      }
       backoff.pause();
     }
   }
@@ -217,9 +265,21 @@ class spsc_queue {
     return t > h ? t - h : 0;
   }
 
-  std::uint64_t gaps_created() const noexcept { return gaps_created_; }
+  std::uint64_t gaps_created() const noexcept { return tel_.gaps_created(); }
+  std::uint64_t consumer_skips() const noexcept {
+    return tel_.consumer_skips();
+  }
+
+  /// The queue's event-counter block (empty under the disabled policy).
+  const ffq::telemetry::queue_counters<Telemetry>& telemetry() const noexcept {
+    return tel_;
+  }
 
  private:
+  // The waitable wrapper funnels its park/wake events into this queue's
+  // counter block so one telemetry() call covers the whole stack.
+  friend class waitable_spsc_queue<T, Layout, Telemetry>;
+
   using cell = detail::spmc_cell<T, Layout::kCacheAligned>;
 
   capacity_info cap_;
@@ -229,7 +289,10 @@ class spsc_queue {
   // point of the SPSC specialization).
   ffq::runtime::padded<std::int64_t> head_{0};
   std::atomic<std::int64_t> closed_tail_{-1};
-  std::uint64_t gaps_created_ = 0;
+  // Empty under the disabled policy: occupies no storage, so sizeof is
+  // identical to the uninstrumented pre-telemetry layout (verified by
+  // static_asserts in tests/test_telemetry.cpp).
+  [[no_unique_address]] ffq::telemetry::queue_counters<Telemetry> tel_;
 };
 
 }  // namespace ffq::core

@@ -25,10 +25,12 @@
 
 namespace ffq::core {
 
-template <typename T, typename Layout = layout_aligned>
+template <typename T, typename Layout = layout_aligned,
+          typename Telemetry = ffq::telemetry::default_policy>
 class waitable_spsc_queue {
  public:
   using value_type = T;
+  using telemetry_policy = Telemetry;
   static constexpr const char* kName = "ffq-spsc-waitable";
 
   /// Spins this many light rounds before parking (covers the common
@@ -40,6 +42,7 @@ class waitable_spsc_queue {
   /// Producer only. Wait-free (plus one relaxed load for the wake check).
   void enqueue(T value) noexcept {
     q_.enqueue(std::move(value));
+    count_wake();
     ec_.notify_one();
   }
 
@@ -48,6 +51,7 @@ class waitable_spsc_queue {
   template <typename It>
   void enqueue_bulk(It first, std::size_t n) noexcept {
     q_.enqueue_bulk(first, n);
+    count_wake();
     ec_.notify_one();
   }
 
@@ -81,6 +85,7 @@ class waitable_spsc_queue {
         // Drain anything between the closed flag and the last publish.
         return q_.try_dequeue(out);
       }
+      q_.tel_.on_park();
       ec_.wait(key);
     }
   }
@@ -106,6 +111,7 @@ class waitable_spsc_queue {
         ec_.cancel_wait();
         return q_.try_dequeue_bulk(out, max_n);
       }
+      q_.tel_.on_park();
       ec_.wait(key);
     }
   }
@@ -113,6 +119,7 @@ class waitable_spsc_queue {
   /// Producer side: end the stream and wake any parked consumer.
   void close() noexcept {
     q_.close();
+    count_wake();
     ec_.notify_all();
   }
 
@@ -123,8 +130,22 @@ class waitable_spsc_queue {
   /// Diagnostic: waiters currently parked (racy).
   std::uint32_t approx_waiters() const noexcept { return ec_.approx_waiters(); }
 
+  /// One unified counter block for the whole stack: park/wake events are
+  /// folded into the inner queue's telemetry.
+  const ffq::telemetry::queue_counters<Telemetry>& telemetry() const noexcept {
+    return q_.telemetry();
+  }
+
  private:
-  spsc_queue<T, Layout> q_;
+  /// Count a wake-up only when a consumer is (racily) parked — mirroring
+  /// when notify_one/notify_all actually issue a futex wake.
+  void count_wake() noexcept {
+    if constexpr (Telemetry::kEnabled) {
+      if (ec_.approx_waiters() > 0) q_.tel_.on_wake();
+    }
+  }
+
+  spsc_queue<T, Layout, Telemetry> q_;
   ffq::runtime::eventcount ec_;
 };
 

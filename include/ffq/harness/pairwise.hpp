@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,8 +22,28 @@
 #include "ffq/runtime/barrier.hpp"
 #include "ffq/runtime/rng.hpp"
 #include "ffq/runtime/timing.hpp"
+#include "ffq/telemetry/registry.hpp"
 
 namespace ffq::harness {
+
+namespace detail {
+
+template <typename Q>
+concept has_telemetry = requires(const Q& q) { q.telemetry(); };
+
+/// Fold a queue's event counters into the process-wide registry under
+/// "queue.<adapter name>". The queue object dies at the end of each run,
+/// so this is called right before destruction; queues without telemetry
+/// (baselines, disabled policy) contribute nothing.
+template <typename Q>
+void export_queue_telemetry(const Q& q) {
+  if constexpr (has_telemetry<Q>) {
+    ffq::telemetry::registry::instance().accumulate_queue(
+        std::string("queue.") + Q::kName, q.telemetry());
+  }
+}
+
+}  // namespace detail
 
 struct pairwise_config {
   int threads = 1;
@@ -95,6 +116,7 @@ double run_pairwise_once(const pairwise_config& cfg) {
   barrier.arrive_and_wait();  // wait for all workers to finish
   for (auto& w : workers) w.join();
   const double secs = window.seconds();
+  detail::export_queue_telemetry(*q);  // queue dies with this scope
 
   const double ops = 2.0 * static_cast<double>(pairs_per_thread) *
                      static_cast<double>(cfg.threads);

@@ -9,7 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "ffq/telemetry/snapshot.hpp"
+
 namespace ffq::harness {
+
+/// Version tag of the bench report JSON layout (bump on layout changes).
+inline constexpr const char* kReportSchema = "ffq.report.v1";
 
 class table {
  public:
@@ -23,11 +28,18 @@ class table {
   /// Write as CSV (header + rows). Returns false on I/O failure.
   bool write_csv(const std::string& path) const;
 
-  /// Write as a JSON report: {"experiment", "columns", "rows": [{col:
-  /// value, ...}]}. Cells that parse fully as numbers are emitted as JSON
-  /// numbers so downstream tooling can compare runs without re-parsing.
-  /// Returns false on I/O failure.
-  bool write_json(const std::string& path, const std::string& experiment) const;
+  /// Write as a JSON report: {"schema", "experiment", "columns", "rows":
+  /// [{col: value, ...}]}. Keys appear in a fixed order (document keys as
+  /// listed, row keys in column order) and strings are fully escaped, so
+  /// the output is byte-stable for a given table — golden-file testable.
+  /// Cells that parse fully as numbers are emitted as JSON numbers so
+  /// downstream tooling can compare runs without re-parsing. When
+  /// `metrics` is non-null a "metrics" object (telemetry snapshot,
+  /// schema "ffq.metrics.v1") is embedded after the rows. Returns false
+  /// on I/O failure.
+  bool write_json(const std::string& path, const std::string& experiment,
+                  const ffq::telemetry::metrics_snapshot* metrics =
+                      nullptr) const;
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
@@ -45,6 +57,7 @@ void print_experiment_header(const std::string& experiment_id,
 struct bench_cli {
   std::string csv_path;      ///< empty = no CSV
   std::string json_path;     ///< empty = no JSON report
+  std::string metrics_path;  ///< empty = no standalone metrics snapshot
   int runs = 10;             ///< repetitions per configuration
   double scale = 1.0;        ///< workload scale factor (ops multiplier)
   bool quick = false;        ///< --quick: 3 runs, 1/10 workload

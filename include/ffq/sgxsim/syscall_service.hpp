@@ -61,6 +61,13 @@ struct service_config {
   /// sandboxed environments where a trapped syscall costs ~10 us, the
   /// simulated syscall restores that queue-bound regime (DESIGN.md §5).
   double simulated_syscall_ns = 0.0;
+  /// Record per-thread latency histograms into the process-wide
+  /// telemetry registry (recorders "syscall.<variant>.e2e_ns" for all
+  /// variants, plus ".enqueue_ns"/".dequeue_ns" for the queue-based
+  /// ones) and fold queue event counters into "queue.<variant>.*"
+  /// totals. The paper reports only the latency *average*; the
+  /// histograms expose the tail (DESIGN.md §8).
+  bool collect_telemetry = false;
 };
 
 struct service_result {

@@ -1,0 +1,195 @@
+// counters.hpp — queue event counters behind the telemetry policy.
+//
+// One uniform counter set for the whole FFQ family (DESIGN.md §8), so
+// SPMC and MPMC — and every future variant — export the same names:
+//
+//   gaps_created     producer announced a gap rank (Alg. 1 l.13 / Alg. 2
+//                    DWCAS gap install)
+//   consumer_skips   consumer abandoned a skipped rank ("gap ≥ rank")
+//   dwcas_retries    failed cmpxchg16b in the MPMC cell protocol (claim
+//                    or gap install lost a race; 0 for SP variants)
+//   rank_block_faas  block acquisitions in the bulk paths: one shared-
+//                    counter fetch-and-add claiming a *run* of ranks
+//   full_stalls      pauses spent in the full-ring regime (the paper's
+//                    free-slot assumption violated; footnote 2)
+//   backoff_pauses   consumer back-off pauses while a rank is undecided
+//   parks / wakes    eventcount kernel parks and producer-side wake-ups
+//                    (waitable wrapper only; 0 elsewhere)
+//   bulk_calls/items + a log2 batch-size distribution for bulk ops
+//
+// The enabled specialization uses relaxed fetch-add — every counted
+// event is on a miss/contention path, never on the uncontended
+// enqueue/dequeue fast path, which is how ON-mode overhead stays <5%
+// (bench_telemetry_overhead). The disabled specialization is an empty
+// class whose members are no-op inlines; queues hold it through
+// [[no_unique_address]] so it occupies no storage.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "ffq/telemetry/policy.hpp"
+
+namespace ffq::telemetry {
+
+/// Log2 buckets of the bulk batch-size distribution: 1, 2-3, 4-7, ...,
+/// 128+.
+inline constexpr std::size_t kBulkBucketCount = 8;
+
+constexpr std::size_t bulk_bucket(std::size_t n) noexcept {
+  const std::size_t lg =
+      n == 0 ? 0 : static_cast<std::size_t>(std::bit_width(n) - 1);
+  return lg < kBulkBucketCount ? lg : kBulkBucketCount - 1;
+}
+
+constexpr const char* bulk_bucket_name(std::size_t b) noexcept {
+  constexpr const char* kNames[kBulkBucketCount] = {
+      "bulk_batch_1",      "bulk_batch_2_3",    "bulk_batch_4_7",
+      "bulk_batch_8_15",   "bulk_batch_16_31",  "bulk_batch_32_63",
+      "bulk_batch_64_127", "bulk_batch_128_up"};
+  return kNames[b];
+}
+
+/// Wait loops flush their locally-accumulated pause counts every this
+/// many pauses (power of two), so a stuck wait is observable while it is
+/// still in progress at one RMW per kFlushEvery pauses.
+inline constexpr std::uint64_t kFlushEvery = 1024;
+
+/// True when a local pause accumulator just crossed a flush boundary.
+/// Usage: `++pauses; if (flush_due(pauses)) { tel_.on_x(pauses); pauses = 0; }`
+constexpr bool flush_due(std::uint64_t accumulated) noexcept {
+  return (accumulated & (kFlushEvery - 1)) == 0;
+}
+
+template <typename Policy = default_policy>
+class queue_counters;
+
+template <>
+class queue_counters<enabled> {
+ public:
+  static constexpr bool kEnabled = true;
+
+  void on_gap_created() noexcept { bump(gaps_created_); }
+  void on_consumer_skip() noexcept { bump(consumer_skips_); }
+  void on_dwcas_retry() noexcept { bump(dwcas_retries_); }
+  void on_rank_block_faa() noexcept { bump(rank_block_faas_); }
+  void on_full_stall() noexcept { bump(full_stalls_); }
+  void on_backoff_pause() noexcept { bump(backoff_pauses_); }
+  // Batched forms for spin loops: accumulate in a register inside the
+  // wait loop and flush once per episode — one RMW per *wait*, not one
+  // per pause, which keeps heavily-contended runs within the overhead
+  // budget. `n == 0` (the common no-wait case) is free. Wait loops also
+  // flush every kFlushEvery pauses (see flush_due) so a thread stuck
+  // waiting stays visible to live snapshots.
+  void on_full_stalls(std::uint64_t n) noexcept {
+    if (n != 0) full_stalls_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_dwcas_retries(std::uint64_t n) noexcept {
+    if (n != 0) dwcas_retries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_backoff_pauses(std::uint64_t n) noexcept {
+    if (n != 0) backoff_pauses_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_park() noexcept { bump(parks_); }
+  void on_wake() noexcept { bump(wakes_); }
+  void on_bulk(std::size_t n) noexcept {
+    bump(bulk_calls_);
+    bulk_items_.fetch_add(n, std::memory_order_relaxed);
+    bump(bulk_hist_[bulk_bucket(n)]);
+  }
+
+  std::uint64_t gaps_created() const noexcept { return get(gaps_created_); }
+  std::uint64_t consumer_skips() const noexcept { return get(consumer_skips_); }
+  std::uint64_t dwcas_retries() const noexcept { return get(dwcas_retries_); }
+  std::uint64_t rank_block_faas() const noexcept { return get(rank_block_faas_); }
+  std::uint64_t full_stalls() const noexcept { return get(full_stalls_); }
+  std::uint64_t backoff_pauses() const noexcept { return get(backoff_pauses_); }
+  std::uint64_t parks() const noexcept { return get(parks_); }
+  std::uint64_t wakes() const noexcept { return get(wakes_); }
+  std::uint64_t bulk_calls() const noexcept { return get(bulk_calls_); }
+  std::uint64_t bulk_items() const noexcept { return get(bulk_items_); }
+  std::uint64_t bulk_batches(std::size_t bucket) const noexcept {
+    return get(bulk_hist_[bucket]);
+  }
+
+  /// Visit every counter as (name, value) — the export interface the
+  /// registry and snapshots consume.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    fn("gaps_created", gaps_created());
+    fn("consumer_skips", consumer_skips());
+    fn("dwcas_retries", dwcas_retries());
+    fn("rank_block_faas", rank_block_faas());
+    fn("full_stalls", full_stalls());
+    fn("backoff_pauses", backoff_pauses());
+    fn("parks", parks());
+    fn("wakes", wakes());
+    fn("bulk_calls", bulk_calls());
+    fn("bulk_items", bulk_items());
+    for (std::size_t b = 0; b < kBulkBucketCount; ++b) {
+      fn(bulk_bucket_name(b), bulk_batches(b));
+    }
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+  static std::uint64_t get(const std::atomic<std::uint64_t>& c) noexcept {
+    return c.load(std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> gaps_created_{0};
+  std::atomic<std::uint64_t> consumer_skips_{0};
+  std::atomic<std::uint64_t> dwcas_retries_{0};
+  std::atomic<std::uint64_t> rank_block_faas_{0};
+  std::atomic<std::uint64_t> full_stalls_{0};
+  std::atomic<std::uint64_t> backoff_pauses_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakes_{0};
+  std::atomic<std::uint64_t> bulk_calls_{0};
+  std::atomic<std::uint64_t> bulk_items_{0};
+  std::atomic<std::uint64_t> bulk_hist_[kBulkBucketCount] = {};
+};
+
+template <>
+class queue_counters<disabled> {
+ public:
+  static constexpr bool kEnabled = false;
+
+  void on_gap_created() noexcept {}
+  void on_consumer_skip() noexcept {}
+  void on_dwcas_retry() noexcept {}
+  void on_rank_block_faa() noexcept {}
+  void on_full_stall() noexcept {}
+  void on_backoff_pause() noexcept {}
+  void on_full_stalls(std::uint64_t) noexcept {}
+  void on_dwcas_retries(std::uint64_t) noexcept {}
+  void on_backoff_pauses(std::uint64_t) noexcept {}
+  void on_park() noexcept {}
+  void on_wake() noexcept {}
+  void on_bulk(std::size_t) noexcept {}
+
+  std::uint64_t gaps_created() const noexcept { return 0; }
+  std::uint64_t consumer_skips() const noexcept { return 0; }
+  std::uint64_t dwcas_retries() const noexcept { return 0; }
+  std::uint64_t rank_block_faas() const noexcept { return 0; }
+  std::uint64_t full_stalls() const noexcept { return 0; }
+  std::uint64_t backoff_pauses() const noexcept { return 0; }
+  std::uint64_t parks() const noexcept { return 0; }
+  std::uint64_t wakes() const noexcept { return 0; }
+  std::uint64_t bulk_calls() const noexcept { return 0; }
+  std::uint64_t bulk_items() const noexcept { return 0; }
+  std::uint64_t bulk_batches(std::size_t) const noexcept { return 0; }
+
+  template <typename Fn>
+  void for_each(Fn&&) const noexcept {}
+};
+
+static_assert(std::is_empty_v<queue_counters<disabled>>,
+              "the disabled policy must add no storage to queues");
+
+}  // namespace ffq::telemetry

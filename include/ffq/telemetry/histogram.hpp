@@ -1,0 +1,168 @@
+// histogram.hpp — HDR-style log-bucketed latency histograms.
+//
+// The paper reports syscall latency as a single average (Fig. 7 right);
+// a production service needs the tail. An HDR-style histogram keeps
+// bounded relative error at every magnitude: values below 2^kSubBits
+// get exact unit buckets, and every further octave is split into
+// 2^kSubBits sub-buckets, so the bucket width is always ≤ 1/2^kSubBits
+// of the value (12.5% with kSubBits = 3) while the whole table is 496
+// buckets (~4 KB) covering the full uint64 range.
+//
+// Concurrency model: one `log_histogram` is a single-writer *shard* —
+// the owning thread records with plain relaxed load+store (no lock
+// prefix on the hot path) and any thread may concurrently read the
+// buckets with relaxed loads. Percentiles come from merging shards into
+// a `merged_histogram` at snapshot time; the merge never blocks writers
+// (registry.hpp holds a mutex only around shard *registration*).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace ffq::telemetry {
+
+/// Summary statistics of one (merged) histogram. All values are in the
+/// recorded unit (nanoseconds everywhere in this repository). Integer
+/// fields keep the JSON export byte-stable across platforms.
+struct histogram_summary {
+  std::uint64_t count = 0;
+  std::uint64_t max = 0;
+  std::uint64_t mean = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+};
+
+class log_histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBits) * kSubBuckets + kSubBuckets;
+
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const std::size_t block = msb - kSubBits + 1;
+    const std::size_t sub = (v >> (msb - kSubBits)) & (kSubBuckets - 1);
+    return block * kSubBuckets + sub;
+  }
+
+  /// Smallest value mapping to bucket `idx` (inverse of bucket_index).
+  static constexpr std::uint64_t bucket_lower(std::size_t idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const std::size_t block = idx / kSubBuckets;
+    const std::size_t sub = idx % kSubBuckets;
+    const unsigned msb = static_cast<unsigned>(block) + kSubBits - 1;
+    return (std::uint64_t{1} << msb) |
+           (static_cast<std::uint64_t>(sub) << (msb - kSubBits));
+  }
+
+  static constexpr std::uint64_t bucket_width(std::size_t idx) noexcept {
+    if (idx < kSubBuckets) return 1;
+    const unsigned msb =
+        static_cast<unsigned>(idx / kSubBuckets) + kSubBits - 1;
+    return std::uint64_t{1} << (msb - kSubBits);
+  }
+
+  /// Representative value reported for a bucket (its midpoint; exact for
+  /// the unit buckets below 2^kSubBits).
+  static constexpr std::uint64_t bucket_mid(std::size_t idx) noexcept {
+    return bucket_lower(idx) + (bucket_width(idx) - 1) / 2;
+  }
+
+  /// Record one value. Owner thread only: uses relaxed load+store so the
+  /// hot path has no locked RMW; concurrent snapshot readers are fine,
+  /// concurrent *writers* are not (that is what per-thread shards are for).
+  void record(std::uint64_t v) noexcept {
+    relaxed_add(counts_[bucket_index(v)], 1);
+    relaxed_add(sum_, v);
+    relaxed_add(count_, 1);
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t idx) const noexcept {
+    return counts_[idx].load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void relaxed_add(std::atomic<std::uint64_t>& c,
+                          std::uint64_t d) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> counts_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Snapshot-side accumulator over any number of shards.
+class merged_histogram {
+ public:
+  void add(const log_histogram& shard) noexcept {
+    for (std::size_t i = 0; i < log_histogram::kBucketCount; ++i) {
+      counts_[i] += shard.bucket(i);
+    }
+    count_ += shard.count();
+    sum_ += shard.sum();
+    if (shard.max() > max_) max_ = shard.max();
+  }
+
+  histogram_summary summary() const noexcept {
+    histogram_summary s;
+    s.count = count_;
+    s.max = max_;
+    if (count_ == 0) return s;
+    s.mean = sum_ / count_;
+    s.p50 = percentile(0.50);
+    s.p90 = percentile(0.90);
+    s.p99 = percentile(0.99);
+    s.p999 = percentile(0.999);
+    return s;
+  }
+
+  /// Value at quantile `q` ∈ (0, 1]: the midpoint of the bucket holding
+  /// the ceil(q·count)-th recorded value, clamped to the observed max.
+  std::uint64_t percentile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+    if (target < 1) target = 1;
+    if (target > count_) target = count_;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < log_histogram::kBucketCount; ++i) {
+      cum += counts_[i];
+      if (cum >= target) {
+        const std::uint64_t mid = log_histogram::bucket_mid(i);
+        return mid < max_ ? mid : max_;
+      }
+    }
+    return max_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t counts_[log_histogram::kBucketCount] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace ffq::telemetry

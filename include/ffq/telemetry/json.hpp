@@ -1,0 +1,59 @@
+// json.hpp — minimal JSON string escaping shared by the telemetry
+// snapshot export and harness::report.
+//
+// The repo deliberately has no JSON library dependency; everything we
+// emit is built from escaped strings and integers. This helper is the
+// one escaping routine both writers share, covering the full set RFC
+// 8259 requires: quote, backslash, and every control character below
+// 0x20 (named escapes where they exist, \u00XX otherwise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ffq::telemetry {
+
+inline std::string json_escape(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += ch;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ffq::telemetry

@@ -1,0 +1,34 @@
+// policy.hpp — the compile-time switch for queue instrumentation.
+//
+// Telemetry is a per-instantiation *policy*, not a global ifdef: every
+// queue takes a `Telemetry` template parameter that is either
+// `telemetry::enabled` or `telemetry::disabled`. The CMake option
+// `FFQ_TELEMETRY` only selects which one `default_policy` aliases, so
+//   * a default (OFF) build compiles the disabled policy everywhere —
+//     empty counter objects, no-op inline member functions, unchanged
+//     sizeof and codegen (verified by static_asserts in
+//     tests/test_telemetry.cpp and by bench_telemetry_overhead);
+//   * tests and the overhead bench can instantiate *both* policies in
+//     one binary and compare them directly, independent of the build
+//     mode.
+#pragma once
+
+namespace ffq::telemetry {
+
+/// Policy tag: compile event counters into the queue hot paths.
+struct enabled {
+  static constexpr bool kEnabled = true;
+};
+
+/// Policy tag: all instrumentation compiles to nothing.
+struct disabled {
+  static constexpr bool kEnabled = false;
+};
+
+#if defined(FFQ_TELEMETRY) && FFQ_TELEMETRY
+using default_policy = enabled;
+#else
+using default_policy = disabled;
+#endif
+
+}  // namespace ffq::telemetry

@@ -1,0 +1,51 @@
+// snapshot.hpp — point-in-time view of all registered metrics, plus the
+// versioned JSON schema every exporter in the repo shares.
+//
+// Schema "ffq.metrics.v1":
+//   {
+//     "schema": "ffq.metrics.v1",
+//     "counters": { "<domain>/<name>": <uint>, ... },
+//     "histograms": {
+//       "<name>": { "count": u, "max": u, "mean": u,
+//                    "p50": u, "p90": u, "p99": u, "p999": u }, ...
+//     },
+//     "perf": { "<event>": <uint>, ... }        // optional, may be {}
+//   }
+//
+// All values are integers (counts and nanoseconds) so the output is
+// byte-stable across platforms and locales, and both maps are
+// std::map — iteration order IS key order, which makes the export
+// deterministic and golden-file testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ffq/telemetry/histogram.hpp"
+
+namespace ffq::telemetry {
+
+inline constexpr const char* kMetricsSchema = "ffq.metrics.v1";
+
+struct metrics_snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, histogram_summary> histograms;
+  std::map<std::string, std::uint64_t> perf;
+
+  bool empty() const noexcept {
+    return counters.empty() && histograms.empty() && perf.empty();
+  }
+
+  /// Render as a JSON object. `indent` is the column every line is
+  /// indented to, so the snapshot can be embedded inside a larger
+  /// document (harness::report::table::write_json) or written standalone
+  /// with indent 0.
+  std::string to_json(int indent = 0) const;
+
+  /// Write `to_json(0)` (plus a trailing newline) to `path`. Returns
+  /// false if the file cannot be opened.
+  bool write_json_file(const std::string& path) const;
+};
+
+}  // namespace ffq::telemetry

@@ -9,6 +9,7 @@
 #include "ffq/runtime/perf_counters.hpp"
 #include "ffq/runtime/timing.hpp"
 #include "ffq/runtime/topology.hpp"
+#include "ffq/telemetry/json.hpp"
 
 namespace ffq::harness {
 
@@ -66,22 +67,9 @@ bool table::write_csv(const std::string& path) const {
 
 namespace {
 
-/// JSON string escaping for the characters that can plausibly appear in
-/// queue/config names; everything else passes through.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += ch;
-    }
-  }
-  return out;
-}
+// Full RFC 8259 escaping (quote, backslash, all control characters),
+// shared with the telemetry snapshot writer.
+using ffq::telemetry::json_escape;
 
 /// Emit a cell as a bare number when the whole cell parses as one,
 /// otherwise as a quoted string.
@@ -99,11 +87,12 @@ void emit_json_value(std::ofstream& f, const std::string& cell) {
 
 }  // namespace
 
-bool table::write_json(const std::string& path,
-                       const std::string& experiment) const {
+bool table::write_json(const std::string& path, const std::string& experiment,
+                       const ffq::telemetry::metrics_snapshot* metrics) const {
   std::ofstream f(path);
   if (!f) return false;
-  f << "{\n  \"experiment\": \"" << json_escape(experiment) << "\",\n";
+  f << "{\n  \"schema\": \"" << kReportSchema << "\",\n";
+  f << "  \"experiment\": \"" << json_escape(experiment) << "\",\n";
   f << "  \"columns\": [";
   for (std::size_t i = 0; i < columns_.size(); ++i) {
     if (i) f << ", ";
@@ -119,7 +108,11 @@ bool table::write_json(const std::string& path,
     }
     f << (r + 1 < rows_.size() ? "},\n" : "}\n");
   }
-  f << "  ]\n}\n";
+  f << "  ]";
+  if (metrics != nullptr) {
+    f << ",\n  \"metrics\": " << metrics->to_json(2);
+  }
+  f << "\n}\n";
   return static_cast<bool>(f);
 }
 
@@ -143,6 +136,8 @@ bench_cli bench_cli::parse(int argc, char** argv) {
       cli.csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       cli.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      cli.metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
       cli.runs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
@@ -151,8 +146,8 @@ bench_cli bench_cli::parse(int argc, char** argv) {
       cli.quick = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "flags: --csv <path>  --json <path>  --runs <n>  --scale <f>  "
-          "--quick\n");
+          "flags: --csv <path>  --json <path>  --metrics <path>  "
+          "--runs <n>  --scale <f>  --quick\n");
     }
   }
   if (cli.quick) {

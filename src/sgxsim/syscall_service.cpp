@@ -15,6 +15,7 @@
 #include "ffq/runtime/timing.hpp"
 #include "ffq/runtime/topology.hpp"
 #include "ffq/runtime/affinity.hpp"
+#include "ffq/telemetry/registry.hpp"
 
 namespace ffq::sgxsim {
 
@@ -58,11 +59,47 @@ void maybe_pin(const service_config& cfg, const rt::cpu_topology& topo, int idx)
   rt::pin_self_to(cpus[static_cast<std::size_t>(idx) % usable].os_id);
 }
 
+namespace tel = ffq::telemetry;
+
+/// Latency recorders for one service run; all pointers null when
+/// cfg.collect_telemetry is off, so the hot paths pay one predictable
+/// branch per sample and nothing else.
+struct service_recorders {
+  tel::latency_recorder* enqueue = nullptr;
+  tel::latency_recorder* dequeue = nullptr;
+  tel::latency_recorder* e2e = nullptr;
+  double tsc_ghz = 1.0;
+
+  static service_recorders make(const service_config& cfg, bool queued) {
+    service_recorders r;
+    if (!cfg.collect_telemetry) return r;
+    auto& reg = tel::registry::instance();
+    const std::string base = std::string("syscall.") + to_string(cfg.variant);
+    r.e2e = &reg.recorder(base + ".e2e_ns");
+    if (queued) {
+      r.enqueue = &reg.recorder(base + ".enqueue_ns");
+      r.dequeue = &reg.recorder(base + ".dequeue_ns");
+    }
+    r.tsc_ghz = rt::tsc_ghz();
+    return r;
+  }
+
+  std::uint64_t to_ns(std::uint64_t cycles) const noexcept {
+    return static_cast<std::uint64_t>(static_cast<double>(cycles) / tsc_ghz);
+  }
+};
+
+inline void record_ns(const service_recorders& rec, tel::log_histogram* shard,
+                      std::uint64_t cycles) noexcept {
+  if (shard != nullptr) shard->record(rec.to_ns(cycles));
+}
+
 // --------------------------------------------------------------------------
 // native: direct calls.
 // --------------------------------------------------------------------------
 service_result run_native(const service_config& cfg) {
   const auto topo = rt::cpu_topology::discover();
+  const auto rec = service_recorders::make(cfg, /*queued=*/false);
   rt::spin_barrier barrier(static_cast<std::size_t>(cfg.app_threads) + 1);
   rt::time_window_recorder window(static_cast<std::size_t>(cfg.app_threads));
   std::atomic<std::uint64_t> latency_sum{0};
@@ -70,6 +107,7 @@ service_result run_native(const service_config& cfg) {
   for (int t = 0; t < cfg.app_threads; ++t) {
     threads.emplace_back([&, t] {
       maybe_pin(cfg, topo, t);
+      auto* e2e = rec.e2e != nullptr ? rec.e2e->new_shard() : nullptr;
       barrier.arrive_and_wait();
       window.mark_start(static_cast<std::size_t>(t));
       std::uint64_t local_lat = 0;
@@ -77,7 +115,9 @@ service_result run_native(const service_config& cfg) {
         const std::uint64_t t0 = rt::rdtsc();
         volatile std::uint64_t r = do_syscall(cfg);
         (void)r;
-        local_lat += rt::rdtsc() - t0;
+        const std::uint64_t d = rt::rdtsc() - t0;
+        local_lat += d;
+        record_ns(rec, e2e, d);
       }
       latency_sum.fetch_add(local_lat, std::memory_order_relaxed);
       window.mark_end(static_cast<std::size_t>(t));
@@ -102,6 +142,7 @@ service_result run_native(const service_config& cfg) {
 // --------------------------------------------------------------------------
 service_result run_sgx_sync(const service_config& cfg) {
   const auto topo = rt::cpu_topology::discover();
+  const auto rec = service_recorders::make(cfg, /*queued=*/false);
   rt::spin_barrier barrier(static_cast<std::size_t>(cfg.app_threads) + 1);
   rt::time_window_recorder window(static_cast<std::size_t>(cfg.app_threads));
   std::atomic<std::uint64_t> latency_sum{0};
@@ -112,6 +153,7 @@ service_result run_sgx_sync(const service_config& cfg) {
       maybe_pin(cfg, topo, t);
       enclave_thread enclave(cfg.cost, &transitions);
       enclave.eenter();
+      auto* e2e = rec.e2e != nullptr ? rec.e2e->new_shard() : nullptr;
       barrier.arrive_and_wait();
       window.mark_start(static_cast<std::size_t>(t));
       std::uint64_t local_lat = 0;
@@ -120,7 +162,9 @@ service_result run_sgx_sync(const service_config& cfg) {
         enclave.charge_inside_op();
         volatile std::uint64_t r = enclave.ocall([&] { return do_syscall(cfg); });
         (void)r;
-        local_lat += rt::rdtsc() - t0;
+        const std::uint64_t d = rt::rdtsc() - t0;
+        local_lat += d;
+        record_ns(rec, e2e, d);
       }
       latency_sum.fetch_add(local_lat, std::memory_order_relaxed);
       window.mark_end(static_cast<std::size_t>(t));
@@ -167,6 +211,7 @@ service_result run_sgx_ffq(const service_config& cfg) {
         std::make_unique<response_q>(cfg.queue_capacity));
   }
 
+  const auto rec = service_recorders::make(cfg, /*queued=*/true);
   rt::spin_barrier barrier(static_cast<std::size_t>(apps + oss) + 1);
   rt::time_window_recorder window(static_cast<std::size_t>(apps + oss));
   std::atomic<std::uint64_t> latency_sum{0};
@@ -183,10 +228,16 @@ service_result run_sgx_ffq(const service_config& cfg) {
       auto& sub = *submissions[static_cast<std::size_t>(j % apps)];
       auto& resp = *responses[static_cast<std::size_t>(j % apps)]
                              [static_cast<std::size_t>(j / apps)];
+      auto* deq = rec.dequeue != nullptr ? rec.dequeue->new_shard() : nullptr;
       barrier.arrive_and_wait();
       window.mark_start(static_cast<std::size_t>(apps + j));
       syscall_request req;
-      while (sub.dequeue(req)) {
+      for (;;) {
+        // The dequeue sample includes the blocking wait for work — that
+        // is the latency an executor actually pays per request.
+        const std::uint64_t t0 = deq != nullptr ? rt::rdtsc() : 0;
+        if (!sub.dequeue(req)) break;
+        if (deq != nullptr) record_ns(rec, deq, rt::rdtsc() - t0);
         syscall_response r;
         r.result = do_syscall(cfg);
         r.issue_tsc = req.issue_tsc;
@@ -204,6 +255,8 @@ service_result run_sgx_ffq(const service_config& cfg) {
       maybe_pin(cfg, topo, a);
       enclave_thread enclave(cfg.cost, &transitions);
       enclave.eenter();
+      auto* enq = rec.enqueue != nullptr ? rec.enqueue->new_shard() : nullptr;
+      auto* e2e = rec.e2e != nullptr ? rec.e2e->new_shard() : nullptr;
       barrier.arrive_and_wait();
       window.mark_start(static_cast<std::size_t>(a));
       auto& sub = *submissions[a];
@@ -216,6 +269,7 @@ service_result run_sgx_ffq(const service_config& cfg) {
         req.app_thread = static_cast<std::uint32_t>(a);
         req.issue_tsc = rt::rdtsc();
         sub.enqueue(req);
+        if (enq != nullptr) record_ns(rec, enq, rt::rdtsc() - req.issue_tsc);
         // "loop through the response queues for dequeuing values".
         syscall_response r;
         rt::yielding_backoff bo;
@@ -224,7 +278,9 @@ service_result run_sgx_ffq(const service_config& cfg) {
           rr = (rr + 1) % my_responses.size();
           if (rr == 0) bo.pause();
         }
-        local_lat += rt::rdtsc() - r.issue_tsc;
+        const std::uint64_t d = rt::rdtsc() - r.issue_tsc;
+        local_lat += d;
+        record_ns(rec, e2e, d);
       }
       sub.close();
       latency_sum.fetch_add(local_lat, std::memory_order_relaxed);
@@ -238,6 +294,21 @@ service_result run_sgx_ffq(const service_config& cfg) {
   barrier.arrive_and_wait();
   for (auto& t : threads) t.join();
   const double secs = window.seconds();
+
+  if (cfg.collect_telemetry) {
+    // Fold queue event counters into registry totals before the queues
+    // die with this scope (no-op in FFQ_TELEMETRY=OFF builds, where the
+    // default policy's counter block is empty).
+    auto& reg = tel::registry::instance();
+    for (const auto& s : submissions) {
+      reg.accumulate_queue("queue.sgx-ffq.submission", s->telemetry());
+    }
+    for (const auto& per_app : responses) {
+      for (const auto& r : per_app) {
+        reg.accumulate_queue("queue.sgx-ffq.response", r->telemetry());
+      }
+    }
+  }
 
   service_result res;
   res.total_calls = cfg.calls_per_thread * static_cast<std::uint64_t>(apps);
@@ -266,6 +337,7 @@ service_result run_sgx_mpmc(const service_config& cfg) {
     responses.push_back(std::make_unique<response_q>(cfg.queue_capacity));
   }
 
+  const auto rec = service_recorders::make(cfg, /*queued=*/true);
   rt::spin_barrier barrier(static_cast<std::size_t>(apps + oss) + 1);
   rt::time_window_recorder window(static_cast<std::size_t>(apps + oss));
   std::atomic<std::uint64_t> latency_sum{0};
@@ -276,17 +348,24 @@ service_result run_sgx_mpmc(const service_config& cfg) {
   for (int j = 0; j < oss; ++j) {
     threads.emplace_back([&, j] {
       maybe_pin(cfg, topo, apps + j);
+      auto* deq = rec.dequeue != nullptr ? rec.dequeue->new_shard() : nullptr;
       barrier.arrive_and_wait();
       window.mark_start(static_cast<std::size_t>(apps + j));
       syscall_request req;
       rt::yielding_backoff bo;
+      std::uint64_t wait_start = deq != nullptr ? rt::rdtsc() : 0;
       for (;;) {
         if (submission.try_dequeue(req)) {
           bo.reset();
+          if (deq != nullptr) {
+            const std::uint64_t now = rt::rdtsc();
+            record_ns(rec, deq, now - wait_start);
+          }
           syscall_response r;
           r.result = do_syscall(cfg);
           r.issue_tsc = req.issue_tsc;
           responses[req.app_thread]->enqueue(r);
+          if (deq != nullptr) wait_start = rt::rdtsc();
         } else if (producers_done.load(std::memory_order_acquire) == apps) {
           if (!submission.try_dequeue(req)) break;
           syscall_response r;
@@ -307,6 +386,8 @@ service_result run_sgx_mpmc(const service_config& cfg) {
       maybe_pin(cfg, topo, a);
       enclave_thread enclave(cfg.cost, &transitions);
       enclave.eenter();
+      auto* enq = rec.enqueue != nullptr ? rec.enqueue->new_shard() : nullptr;
+      auto* e2e = rec.e2e != nullptr ? rec.e2e->new_shard() : nullptr;
       barrier.arrive_and_wait();
       window.mark_start(static_cast<std::size_t>(a));
       auto& resp = *responses[a];
@@ -317,10 +398,13 @@ service_result run_sgx_mpmc(const service_config& cfg) {
         req.app_thread = static_cast<std::uint32_t>(a);
         req.issue_tsc = rt::rdtsc();
         submission.enqueue(req);
+        if (enq != nullptr) record_ns(rec, enq, rt::rdtsc() - req.issue_tsc);
         syscall_response r;
         rt::yielding_backoff bo;
         while (!resp.try_dequeue(r)) bo.pause();
-        local_lat += rt::rdtsc() - r.issue_tsc;
+        const std::uint64_t d = rt::rdtsc() - r.issue_tsc;
+        local_lat += d;
+        record_ns(rec, e2e, d);
       }
       producers_done.fetch_add(1, std::memory_order_release);
       latency_sum.fetch_add(local_lat, std::memory_order_relaxed);

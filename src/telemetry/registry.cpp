@@ -1,0 +1,61 @@
+#include "ffq/telemetry/registry.hpp"
+
+namespace ffq::telemetry {
+
+log_histogram* latency_recorder::new_shard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &shards_.emplace_back();
+}
+
+merged_histogram latency_recorder::merge() const {
+  // Lock only the shard list; the shards themselves are read with
+  // relaxed loads while their owner threads may still be recording.
+  std::lock_guard<std::mutex> lock(mu_);
+  merged_histogram m;
+  for (const auto& shard : shards_) m.add(shard);
+  return m;
+}
+
+registry& registry::instance() {
+  static registry r;
+  return r;
+}
+
+latency_recorder& registry::recorder(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorders_[std::string(name)];
+}
+
+void registry::accumulate(std::string_view domain, std::string_view name,
+                          std::uint64_t delta) {
+  std::string key;
+  key.reserve(domain.size() + 1 + name.size());
+  key.append(domain).append("/").append(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[key] += delta;
+}
+
+void registry::set_perf_sample(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  perf_[std::string(name)] = value;
+}
+
+metrics_snapshot registry::snapshot() const {
+  metrics_snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters = counters_;
+  snap.perf = perf_;
+  for (const auto& [name, rec] : recorders_) {
+    snap.histograms[name] = rec.merge().summary();
+  }
+  return snap;
+}
+
+void registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorders_.clear();
+  counters_.clear();
+  perf_.clear();
+}
+
+}  // namespace ffq::telemetry

@@ -1,0 +1,74 @@
+#include "ffq/telemetry/snapshot.hpp"
+
+#include <fstream>
+#include <string>
+
+#include "ffq/telemetry/json.hpp"
+
+namespace ffq::telemetry {
+
+namespace {
+
+std::string pad(int n) { return std::string(static_cast<std::size_t>(n), ' '); }
+
+void append_uint_map(std::string& out,
+                     const std::map<std::string, std::uint64_t>& m,
+                     const std::string& in2, const std::string& in3) {
+  bool first = true;
+  for (const auto& [key, value] : m) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + in3 + "\"" + json_escape(key) + "\": " + std::to_string(value);
+  }
+  if (!m.empty()) out += "\n" + in2;
+}
+
+}  // namespace
+
+std::string metrics_snapshot::to_json(int indent) const {
+  const std::string in1 = pad(indent);
+  const std::string in2 = pad(indent + 2);
+  const std::string in3 = pad(indent + 4);
+  const std::string in4 = pad(indent + 6);
+
+  std::string out = "{\n";
+  out += in2 + "\"schema\": \"" + kMetricsSchema + "\",\n";
+
+  out += in2 + "\"counters\": {";
+  append_uint_map(out, counters, in2, in3);
+  out += "},\n";
+
+  out += in2 + "\"histograms\": {";
+  bool first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + in3 + "\"" + json_escape(name) + "\": {\n";
+    out += in4 + "\"count\": " + std::to_string(h.count) + ",\n";
+    out += in4 + "\"max\": " + std::to_string(h.max) + ",\n";
+    out += in4 + "\"mean\": " + std::to_string(h.mean) + ",\n";
+    out += in4 + "\"p50\": " + std::to_string(h.p50) + ",\n";
+    out += in4 + "\"p90\": " + std::to_string(h.p90) + ",\n";
+    out += in4 + "\"p99\": " + std::to_string(h.p99) + ",\n";
+    out += in4 + "\"p999\": " + std::to_string(h.p999) + "\n";
+    out += in3 + "}";
+  }
+  if (!histograms.empty()) out += "\n" + in2;
+  out += "},\n";
+
+  out += in2 + "\"perf\": {";
+  append_uint_map(out, perf, in2, in3);
+  out += "}\n";
+
+  out += in1 + "}";
+  return out;
+}
+
+bool metrics_snapshot::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(0) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace ffq::telemetry

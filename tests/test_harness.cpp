@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "ffq/harness/driver.hpp"
 #include "ffq/harness/pairwise.hpp"
@@ -65,11 +67,80 @@ TEST(Report, CsvRoundTrip) {
   std::filesystem::remove(path);
 }
 
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+// Golden-file test for the "ffq.report.v1" JSON export: byte-for-byte
+// stable output is the contract that makes downstream tooling (and this
+// repo's committed BENCH_*.json artifacts) diffable. The fixture covers
+// the sharp edges: numeric-vs-string cell detection, full RFC 8259
+// escaping (quotes, backslashes, \n, \t), and an embedded
+// "ffq.metrics.v1" snapshot whose std::map backing guarantees sorted,
+// deterministic key order.
+TEST(Report, JsonMatchesGoldenFile) {
+  table t({"queue", "ops", "note"});
+  t.add_row({"ffq-spsc", "1.68", "plain"});
+  t.add_row({"weird \"name\"\\path", "nan", "line1\nline2\ttab"});
+
+  ffq::telemetry::metrics_snapshot snap;
+  // Inserted out of order on purpose: the export must sort.
+  snap.counters["queue.ffq-spsc/gaps_created"] = 4;
+  snap.counters["queue.ffq-spsc/consumer_skips"] = 4;
+  snap.histograms["syscall.native.e2e_ns"] =
+      ffq::telemetry::histogram_summary{1000, 2500, 310, 290, 420, 1100, 2500};
+  snap.perf["cycles"] = 123456789;
+
+  const std::string path = "/tmp/ffq_test_report_golden.json";
+  ASSERT_TRUE(t.write_json(path, "telemetry golden", &snap));
+  const std::string produced = slurp(path);
+  const std::string golden = slurp(std::string(FFQ_GOLDEN_DIR) +
+                                   "/report_v1.json");
+  ASSERT_FALSE(golden.empty()) << "golden file missing";
+  EXPECT_EQ(produced, golden)
+      << "report JSON drifted from tests/golden/report_v1.json; if the "
+         "schema changed intentionally, bump kReportSchema and regenerate";
+  std::filesystem::remove(path);
+}
+
+TEST(Report, JsonEscapesControlCharactersInCells) {
+  table t({"k"});
+  t.add_row({std::string{'a', '\x01', 'b', '\x1f'} + "\b\f\r"});
+  const std::string path = "/tmp/ffq_test_report_esc.json";
+  ASSERT_TRUE(t.write_json(path, "esc"));
+  const std::string s = slurp(path);
+  EXPECT_NE(s.find("\\u0001"), std::string::npos);
+  EXPECT_NE(s.find("\\u001f"), std::string::npos);
+  EXPECT_NE(s.find("\\b\\f\\r"), std::string::npos);
+  // No raw control bytes may survive into the file.
+  for (char c : s) EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20);
+  std::filesystem::remove(path);
+}
+
+TEST(Report, JsonWithoutMetricsOmitsTheKey) {
+  table t({"a"});
+  t.add_row({"1"});
+  const std::string path = "/tmp/ffq_test_report_nometrics.json";
+  ASSERT_TRUE(t.write_json(path, "none"));
+  const std::string s = slurp(path);
+  EXPECT_NE(s.find("\"schema\": \"ffq.report.v1\""), std::string::npos);
+  EXPECT_EQ(s.find("\"metrics\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
 TEST(Report, CliParsing) {
   const char* argv[] = {"bench", "--csv", "/tmp/x.csv", "--runs", "5",
-                        "--scale", "0.5"};
-  auto cli = bench_cli::parse(7, const_cast<char**>(argv));
+                        "--scale", "0.5", "--metrics", "/tmp/m.json"};
+  auto cli = bench_cli::parse(9, const_cast<char**>(argv));
   EXPECT_EQ(cli.csv_path, "/tmp/x.csv");
+  EXPECT_EQ(cli.metrics_path, "/tmp/m.json");
   EXPECT_EQ(cli.runs, 5);
   EXPECT_DOUBLE_EQ(cli.scale, 0.5);
   const char* argv2[] = {"bench", "--quick"};

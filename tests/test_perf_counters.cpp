@@ -37,6 +37,57 @@ TEST(PerfCounters, AvailableGroupCountsSomething) {
   EXPECT_GT(g.value(rt::perf_event_kind::instructions), 100000u);
 }
 
+// The UnavailableGroupIsInert test above only exercises degradation when
+// the PMU actually denies us. An out-of-range kind is rejected by the
+// wrapper itself, giving a deterministically-unavailable group in every
+// environment, PMU or not.
+TEST(PerfCounters, InvalidKindDegradesGracefully) {
+  rt::perf_counter_group g({static_cast<rt::perf_event_kind>(999)});
+  EXPECT_FALSE(g.available());
+  EXPECT_FALSE(g.error().empty());
+  g.start();
+  g.stop();
+  EXPECT_TRUE(g.read_all().empty());
+  for (auto k : {rt::perf_event_kind::cycles, rt::perf_event_kind::instructions,
+                 rt::perf_event_kind::cache_references,
+                 rt::perf_event_kind::cache_misses,
+                 rt::perf_event_kind::l1d_read_access,
+                 rt::perf_event_kind::l1d_read_miss}) {
+    EXPECT_EQ(g.value(k), 0u) << rt::to_string(k);
+  }
+}
+
+TEST(PerfCounters, InvalidKindAfterValidOnesStillDegrades) {
+  // Constructor must close any counters it already opened before the
+  // bad kind, and the group must read as fully unavailable.
+  rt::perf_counter_group g(
+      {rt::perf_event_kind::cycles, static_cast<rt::perf_event_kind>(999)});
+  EXPECT_FALSE(g.available());
+  EXPECT_FALSE(g.error().empty());
+  EXPECT_TRUE(g.read_all().empty());
+  EXPECT_EQ(g.value(rt::perf_event_kind::cycles), 0u);
+}
+
+TEST(PerfCounters, EmptyGroupIsTriviallyAvailable) {
+  rt::perf_counter_group g({});
+  EXPECT_TRUE(g.available());
+  EXPECT_TRUE(g.error().empty());
+  g.start();
+  g.stop();
+  EXPECT_TRUE(g.read_all().empty());
+  EXPECT_EQ(g.value(rt::perf_event_kind::cycles), 0u);
+}
+
+TEST(PerfCounters, MovedFromGroupIsInert) {
+  rt::perf_counter_group a({rt::perf_event_kind::cycles});
+  rt::perf_counter_group b(std::move(a));
+  EXPECT_FALSE(a.available());
+  EXPECT_TRUE(a.read_all().empty());
+  EXPECT_EQ(a.value(rt::perf_event_kind::cycles), 0u);
+  a.start();  // inert, must not crash
+  a.stop();
+}
+
 TEST(PerfCounters, MoveTransfersOwnership) {
   rt::perf_counter_group a({rt::perf_event_kind::cycles});
   rt::perf_counter_group b(std::move(a));

@@ -13,6 +13,7 @@
 #include <tuple>
 #include <vector>
 
+using ffq::core::layout_aligned;
 using ffq::core::spmc_queue;
 
 TEST(SpmcQueue, SingleConsumerFifo) {
@@ -108,7 +109,9 @@ struct gated_value {
 }  // namespace
 
 TEST(SpmcQueue, DeterministicGapCreationAndSkip) {
-  spmc_queue<gated_value> q(4);
+  // Explicit enabled policy: the gap/skip assertions must hold in every
+  // build mode, including default FFQ_TELEMETRY=OFF.
+  spmc_queue<gated_value, layout_aligned, ffq::telemetry::enabled> q(4);
   gate gt;
 
   q.enqueue(gated_value(0, &gt));      // rank 0 -> cell 0
@@ -320,7 +323,9 @@ TEST(SpmcQueueBulk, DequeueBulkDropsGapInsideClaimedRun) {
   // but the drain happens through one dequeue_bulk whose claimed run
   // [2, 6) covers the gap at rank 4. The gap must be dropped in place —
   // no fresh fetch-and-add — so the call returns the 3 real items.
-  spmc_queue<gated_value> q(4);
+  // Enabled telemetry policy: the gap/skip assertions must hold in every
+  // build mode.
+  spmc_queue<gated_value, layout_aligned, ffq::telemetry::enabled> q(4);
   gate gt;
 
   q.enqueue(gated_value(0, &gt));      // rank 0 -> cell 0
