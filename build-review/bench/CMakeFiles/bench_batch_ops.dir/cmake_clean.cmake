@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_ops.dir/bench_batch_ops.cpp.o"
+  "CMakeFiles/bench_batch_ops.dir/bench_batch_ops.cpp.o.d"
+  "bench_batch_ops"
+  "bench_batch_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45_cache_affinity.dir/bench_fig45_cache_affinity.cpp.o"
+  "CMakeFiles/bench_fig45_cache_affinity.dir/bench_fig45_cache_affinity.cpp.o.d"
+  "bench_fig45_cache_affinity"
+  "bench_fig45_cache_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_cache_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_comparative.dir/bench_fig8_comparative.cpp.o"
+  "CMakeFiles/bench_fig8_comparative.dir/bench_fig8_comparative.cpp.o.d"
+  "bench_fig8_comparative"
+  "bench_fig8_comparative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_comparative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

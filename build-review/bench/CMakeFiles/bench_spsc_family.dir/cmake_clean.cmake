@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spsc_family.dir/bench_spsc_family.cpp.o"
+  "CMakeFiles/bench_spsc_family.dir/bench_spsc_family.cpp.o.d"
+  "bench_spsc_family"
+  "bench_spsc_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spsc_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_syscalls.dir/green_syscalls.cpp.o"
+  "CMakeFiles/green_syscalls.dir/green_syscalls.cpp.o.d"
+  "green_syscalls"
+  "green_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

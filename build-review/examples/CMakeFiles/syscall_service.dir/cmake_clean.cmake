@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_service.dir/syscall_service.cpp.o"
+  "CMakeFiles/syscall_service.dir/syscall_service.cpp.o.d"
+  "syscall_service"
+  "syscall_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_distribution.dir/work_distribution.cpp.o"
+  "CMakeFiles/work_distribution.dir/work_distribution.cpp.o.d"
+  "work_distribution"
+  "work_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache.cpp" "src/CMakeFiles/ffq_cachesim.dir/cachesim/cache.cpp.o" "gcc" "src/CMakeFiles/ffq_cachesim.dir/cachesim/cache.cpp.o.d"
+  "/root/repo/src/cachesim/hierarchy.cpp" "src/CMakeFiles/ffq_cachesim.dir/cachesim/hierarchy.cpp.o" "gcc" "src/CMakeFiles/ffq_cachesim.dir/cachesim/hierarchy.cpp.o.d"
+  "/root/repo/src/cachesim/queue_trace.cpp" "src/CMakeFiles/ffq_cachesim.dir/cachesim/queue_trace.cpp.o" "gcc" "src/CMakeFiles/ffq_cachesim.dir/cachesim/queue_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffq_cachesim.dir/cachesim/cache.cpp.o"
+  "CMakeFiles/ffq_cachesim.dir/cachesim/cache.cpp.o.d"
+  "CMakeFiles/ffq_cachesim.dir/cachesim/hierarchy.cpp.o"
+  "CMakeFiles/ffq_cachesim.dir/cachesim/hierarchy.cpp.o.d"
+  "CMakeFiles/ffq_cachesim.dir/cachesim/queue_trace.cpp.o"
+  "CMakeFiles/ffq_cachesim.dir/cachesim/queue_trace.cpp.o.d"
+  "libffq_cachesim.a"
+  "libffq_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffq_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libffq_cachesim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffq_harness.dir/harness/driver.cpp.o"
+  "CMakeFiles/ffq_harness.dir/harness/driver.cpp.o.d"
+  "CMakeFiles/ffq_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/ffq_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/ffq_harness.dir/harness/stats.cpp.o"
+  "CMakeFiles/ffq_harness.dir/harness/stats.cpp.o.d"
+  "libffq_harness.a"
+  "libffq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

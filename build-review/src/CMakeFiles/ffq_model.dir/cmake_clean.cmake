@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffq_model.dir/model/checker.cpp.o"
+  "CMakeFiles/ffq_model.dir/model/checker.cpp.o.d"
+  "libffq_model.a"
+  "libffq_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffq_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

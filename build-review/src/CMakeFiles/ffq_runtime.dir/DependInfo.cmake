@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/affinity.cpp" "src/CMakeFiles/ffq_runtime.dir/runtime/affinity.cpp.o" "gcc" "src/CMakeFiles/ffq_runtime.dir/runtime/affinity.cpp.o.d"
+  "/root/repo/src/runtime/eventcount.cpp" "src/CMakeFiles/ffq_runtime.dir/runtime/eventcount.cpp.o" "gcc" "src/CMakeFiles/ffq_runtime.dir/runtime/eventcount.cpp.o.d"
+  "/root/repo/src/runtime/fiber.cpp" "src/CMakeFiles/ffq_runtime.dir/runtime/fiber.cpp.o" "gcc" "src/CMakeFiles/ffq_runtime.dir/runtime/fiber.cpp.o.d"
+  "/root/repo/src/runtime/htm.cpp" "src/CMakeFiles/ffq_runtime.dir/runtime/htm.cpp.o" "gcc" "src/CMakeFiles/ffq_runtime.dir/runtime/htm.cpp.o.d"
+  "/root/repo/src/runtime/perf_counters.cpp" "src/CMakeFiles/ffq_runtime.dir/runtime/perf_counters.cpp.o" "gcc" "src/CMakeFiles/ffq_runtime.dir/runtime/perf_counters.cpp.o.d"
+  "/root/repo/src/runtime/timing.cpp" "src/CMakeFiles/ffq_runtime.dir/runtime/timing.cpp.o" "gcc" "src/CMakeFiles/ffq_runtime.dir/runtime/timing.cpp.o.d"
+  "/root/repo/src/runtime/topology.cpp" "src/CMakeFiles/ffq_runtime.dir/runtime/topology.cpp.o" "gcc" "src/CMakeFiles/ffq_runtime.dir/runtime/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffq_runtime.dir/runtime/affinity.cpp.o"
+  "CMakeFiles/ffq_runtime.dir/runtime/affinity.cpp.o.d"
+  "CMakeFiles/ffq_runtime.dir/runtime/eventcount.cpp.o"
+  "CMakeFiles/ffq_runtime.dir/runtime/eventcount.cpp.o.d"
+  "CMakeFiles/ffq_runtime.dir/runtime/fiber.cpp.o"
+  "CMakeFiles/ffq_runtime.dir/runtime/fiber.cpp.o.d"
+  "CMakeFiles/ffq_runtime.dir/runtime/htm.cpp.o"
+  "CMakeFiles/ffq_runtime.dir/runtime/htm.cpp.o.d"
+  "CMakeFiles/ffq_runtime.dir/runtime/perf_counters.cpp.o"
+  "CMakeFiles/ffq_runtime.dir/runtime/perf_counters.cpp.o.d"
+  "CMakeFiles/ffq_runtime.dir/runtime/timing.cpp.o"
+  "CMakeFiles/ffq_runtime.dir/runtime/timing.cpp.o.d"
+  "CMakeFiles/ffq_runtime.dir/runtime/topology.cpp.o"
+  "CMakeFiles/ffq_runtime.dir/runtime/topology.cpp.o.d"
+  "libffq_runtime.a"
+  "libffq_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffq_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffq_sgxsim.dir/sgxsim/enclave.cpp.o"
+  "CMakeFiles/ffq_sgxsim.dir/sgxsim/enclave.cpp.o.d"
+  "CMakeFiles/ffq_sgxsim.dir/sgxsim/syscall_service.cpp.o"
+  "CMakeFiles/ffq_sgxsim.dir/sgxsim/syscall_service.cpp.o.d"
+  "libffq_sgxsim.a"
+  "libffq_sgxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffq_sgxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ffq_sgxsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffq_telemetry.dir/telemetry/registry.cpp.o"
+  "CMakeFiles/ffq_telemetry.dir/telemetry/registry.cpp.o.d"
+  "CMakeFiles/ffq_telemetry.dir/telemetry/snapshot.cpp.o"
+  "CMakeFiles/ffq_telemetry.dir/telemetry/snapshot.cpp.o.d"
+  "libffq_telemetry.a"
+  "libffq_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffq_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

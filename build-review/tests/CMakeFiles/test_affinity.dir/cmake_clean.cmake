@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affinity.dir/test_affinity.cpp.o"
+  "CMakeFiles/test_affinity.dir/test_affinity.cpp.o.d"
+  "test_affinity"
+  "test_affinity.pdb"
+  "test_affinity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

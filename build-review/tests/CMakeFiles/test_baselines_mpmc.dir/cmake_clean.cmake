@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_mpmc.dir/test_baselines_mpmc.cpp.o"
+  "CMakeFiles/test_baselines_mpmc.dir/test_baselines_mpmc.cpp.o.d"
+  "test_baselines_mpmc"
+  "test_baselines_mpmc.pdb"
+  "test_baselines_mpmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_mpmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

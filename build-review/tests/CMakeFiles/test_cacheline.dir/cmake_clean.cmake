@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cacheline.dir/test_cacheline.cpp.o"
+  "CMakeFiles/test_cacheline.dir/test_cacheline.cpp.o.d"
+  "test_cacheline"
+  "test_cacheline.pdb"
+  "test_cacheline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cacheline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

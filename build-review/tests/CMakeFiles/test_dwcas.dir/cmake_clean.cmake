@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dwcas.dir/test_dwcas.cpp.o"
+  "CMakeFiles/test_dwcas.dir/test_dwcas.cpp.o.d"
+  "test_dwcas"
+  "test_dwcas.pdb"
+  "test_dwcas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dwcas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

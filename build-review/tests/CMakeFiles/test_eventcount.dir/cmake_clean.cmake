@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eventcount.dir/test_eventcount.cpp.o"
+  "CMakeFiles/test_eventcount.dir/test_eventcount.cpp.o.d"
+  "test_eventcount"
+  "test_eventcount.pdb"
+  "test_eventcount[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eventcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

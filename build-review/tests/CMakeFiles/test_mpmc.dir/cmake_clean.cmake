@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpmc.dir/test_mpmc.cpp.o"
+  "CMakeFiles/test_mpmc.dir/test_mpmc.cpp.o.d"
+  "test_mpmc"
+  "test_mpmc.pdb"
+  "test_mpmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_counters.dir/test_perf_counters.cpp.o"
+  "CMakeFiles/test_perf_counters.dir/test_perf_counters.cpp.o.d"
+  "test_perf_counters"
+  "test_perf_counters.pdb"
+  "test_perf_counters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reclaimers.dir/test_reclaimers.cpp.o"
+  "CMakeFiles/test_reclaimers.dir/test_reclaimers.cpp.o.d"
+  "test_reclaimers"
+  "test_reclaimers.pdb"
+  "test_reclaimers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reclaimers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgxsim.dir/test_sgxsim.cpp.o"
+  "CMakeFiles/test_sgxsim.dir/test_sgxsim.cpp.o.d"
+  "test_sgxsim"
+  "test_sgxsim.pdb"
+  "test_sgxsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmc.dir/test_spmc.cpp.o"
+  "CMakeFiles/test_spmc.dir/test_spmc.cpp.o.d"
+  "test_spmc"
+  "test_spmc.pdb"
+  "test_spmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spsc.dir/test_spsc.cpp.o"
+  "CMakeFiles/test_spsc.dir/test_spsc.cpp.o.d"
+  "test_spsc"
+  "test_spsc.pdb"
+  "test_spsc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

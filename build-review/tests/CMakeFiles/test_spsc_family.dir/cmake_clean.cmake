@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spsc_family.dir/test_spsc_family.cpp.o"
+  "CMakeFiles/test_spsc_family.dir/test_spsc_family.cpp.o.d"
+  "test_spsc_family"
+  "test_spsc_family.pdb"
+  "test_spsc_family[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spsc_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waitable.dir/test_waitable.cpp.o"
+  "CMakeFiles/test_waitable.dir/test_waitable.cpp.o.d"
+  "test_waitable"
+  "test_waitable.pdb"
+  "test_waitable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waitable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
