@@ -251,5 +251,6 @@ int main(int argc, char** argv) {
       "ffq-spsc gains come from the single tail publication only, so "
       "they are smaller; mcringbuffer/batchqueue bound what control-"
       "variable batching buys a pure SPSC design.\n");
+  write_trace_if_requested(cli);
   return 0;
 }

@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
       "\npaper reference (Skylake): 1p/1c ~1.0/0.95/0.9/0.9; 1p/8c "
       "alignment and randomization each help, 'both' best; 8p/8c aligned "
       "best, randomization counter-productive.\n");
+  write_trace_if_requested(cli);
   return 0;
 }

@@ -57,5 +57,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper reference (Skylake): maximum throughput at 64k entries, "
       "decline beyond as the ring exceeds cache capacity.\n");
+  write_trace_if_requested(cli);
   return 0;
 }

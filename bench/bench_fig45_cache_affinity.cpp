@@ -120,5 +120,6 @@ int main(int argc, char** argv) {
       "best private-cache locality; cross-core placements pay coherence "
       "misses (Fig. 4). Core frequency (Fig. 4 middle panel) is hardware-"
       "only and not modelled by the simulator.\n");
+  write_trace_if_requested(cli);
   return 0;
 }

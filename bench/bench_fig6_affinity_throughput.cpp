@@ -71,5 +71,6 @@ int main(int argc, char** argv) {
       "no-affinity benefit from large queues that decouple the threads. "
       "NOTE: on a machine without SMT, sibling-HT degrades to same-HT "
       "(the topology header above shows HT/core).\n");
+  write_trace_if_requested(cli);
   return 0;
 }

@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
   if (!cli.metrics_path.empty() && snap.write_json_file(cli.metrics_path)) {
     std::printf("metrics written to %s\n", cli.metrics_path.c_str());
   }
+  write_trace_if_requested(cli, snap.empty() ? nullptr : &snap);
   std::printf(
       "\npaper reference (Skylake/Haswell/P8): FFQ^m consistently among "
       "the fastest at every thread count; SPSC > SPMC > MPMC single-"

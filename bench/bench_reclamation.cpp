@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpectation: epochs win on read-side cost (no per-pointer "
       "seq_cst publication); hazards bound garbage under stalls.\n");
+  write_trace_if_requested(cli);
   return 0;
 }

@@ -153,5 +153,6 @@ int main(int argc, char** argv) {
   if (!cli.csv_path.empty() && t.write_csv(cli.csv_path)) {
     std::printf("csv written to %s\n", cli.csv_path.c_str());
   }
+  write_trace_if_requested(cli);
   return 0;
 }

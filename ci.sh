@@ -5,7 +5,11 @@
 #     (FFQ_TELEMETRY=OFF, the default — the zero-cost configuration);
 #  2. telemetry leg: the same build + full suite with FFQ_TELEMETRY=ON,
 #     so both sides of the compile-time policy stay green;
-#  3. TSan sweep: the core queue test binaries plus the telemetry suite
+#  3. trace leg: full build + suite with FFQ_TRACE=ON (and telemetry ON,
+#     so both hook families coexist), then an end-to-end check: the MPMC
+#     trace_stress tool exports a Perfetto trace that trace_check must
+#     validate (per-producer FIFO, no loss, no duplication);
+#  4. TSan sweep: the core queue test binaries plus the telemetry suite
 #     rebuilt with -fsanitize=thread (telemetry ON, so the instrumented
 #     hot paths are the ones checked) and run to completion — any
 #     reported race fails the script.
@@ -24,6 +28,16 @@ echo "=== telemetry: build + full test suite (FFQ_TELEMETRY=ON) ==="
 cmake --preset telemetry >/dev/null
 cmake --build build-telemetry -j "$JOBS"
 ctest --test-dir build-telemetry --output-on-failure -j "$JOBS"
+
+echo "=== trace: build + full test suite (FFQ_TRACE=ON) ==="
+cmake --preset trace >/dev/null
+cmake --build build-trace -j "$JOBS"
+ctest --test-dir build-trace --output-on-failure -j "$JOBS"
+echo "--- trace end-to-end: MPMC stress -> Perfetto export -> trace_check ---"
+TRACE_OUT="build-trace/ci_mpmc_trace.json"
+./build-trace/tools/trace_stress --trace="$TRACE_OUT" \
+  --producers=2 --consumers=2 --items=4000
+./build-trace/tools/trace_check --expect-drained "$TRACE_OUT"
 
 echo "=== tsan: queue + telemetry suites under ThreadSanitizer ==="
 cmake --preset tsan >/dev/null

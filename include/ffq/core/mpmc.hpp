@@ -30,8 +30,10 @@
 #include "ffq/runtime/aligned_buffer.hpp"
 #include "ffq/runtime/backoff.hpp"
 #include "ffq/runtime/cacheline.hpp"
+#include "ffq/core/spmc.hpp"  // detail::cell_probe
 #include "ffq/runtime/dwcas.hpp"
 #include "ffq/telemetry/counters.hpp"
+#include "ffq/trace/tracer.hpp"
 
 namespace ffq::core {
 
@@ -66,7 +68,8 @@ struct alignas(ffq::runtime::kCacheLineSize) mpmc_cell<T, true>
 }  // namespace detail
 
 template <typename T, typename Layout = layout_aligned,
-          typename Telemetry = ffq::telemetry::default_policy>
+          typename Telemetry = ffq::telemetry::default_policy,
+          typename Trace = ffq::trace::default_policy>
 class mpmc_queue {
   static_assert(std::is_nothrow_move_constructible_v<T>,
                 "cell publication cannot be rolled back after a throwing move");
@@ -75,6 +78,7 @@ class mpmc_queue {
   using value_type = T;
   using layout_type = Layout;
   using telemetry_policy = Telemetry;
+  using trace_policy = Trace;
   static constexpr const char* kName = "ffq-mpmc";
 
   explicit mpmc_queue(std::size_t capacity)
@@ -250,6 +254,20 @@ class mpmc_queue {
     return tel_;
   }
 
+  /// Watchdog introspection (racy, diagnostic only). rank -2 in the
+  /// probe = a producer's in-flight reservation.
+  std::int64_t head_rank() const noexcept {
+    return head_->load(std::memory_order_relaxed);
+  }
+  std::int64_t tail_rank() const noexcept {
+    return tail_->load(std::memory_order_relaxed);
+  }
+  detail::cell_probe inspect_rank(std::int64_t rank) const noexcept {
+    const auto& c = cells_[cap_.template slot<Layout>(rank)];
+    return {c.rg.first.load(std::memory_order_relaxed),
+            c.rg.second.load(std::memory_order_relaxed)};
+  }
+
  private:
   using cell = detail::mpmc_cell<T, Layout::kCacheAligned>;
 
@@ -259,6 +277,7 @@ class mpmc_queue {
   /// call — and the caller must draw a fresh rank for the same value.
   bool place_at_rank(std::int64_t rank, T& value,
                      std::size_t& gaps_this_call) noexcept {
+    const std::uint64_t t0 = trc_.now();
     auto& c = cells_[cap_.template slot<Layout>(rank)];
     ffq::runtime::yielding_backoff backoff;
     // Spin telemetry accumulates in registers and flushes once per
@@ -266,6 +285,7 @@ class mpmc_queue {
     // below also flush every kFlushEvery pauses so a producer stuck on a
     // full ring stays visible to live snapshots.
     std::uint64_t stalls = 0, pauses = 0, retries = 0;
+    bool stall_traced = false;
     const auto flush_waits = [&]() noexcept {
       tel_.on_full_stalls(stalls);
       tel_.on_backoff_pauses(pauses);
@@ -299,6 +319,10 @@ class mpmc_queue {
           // consumer, so the gap for our rank must be announced.
           // (Found by the model checker; see tests/test_model.cpp.)
           ++stalls;
+          if (!stall_traced) {  // one instant per episode, not per pause
+            trc_.on_full_stall(rank);
+            stall_traced = true;
+          }
           if (ffq::telemetry::flush_due(stalls)) flush_waits();
           backoff.pause();
           continue;
@@ -309,11 +333,13 @@ class mpmc_queue {
         typename ffq::runtime::atomic_i64_pair::value_type expected{r, g};
         if (c.rg.compare_exchange(expected, {r, rank})) {
           tel_.on_gap_created();
+          trc_.on_gap(rank);
           ++gaps_this_call;
           flush_waits();
           return false;  // gap announced for our rank; acquire a new rank
         }
         ++retries;
+        trc_.on_dwcas_retry(rank);
         continue;
       }
       if (r == detail::kCellFree) {
@@ -325,9 +351,11 @@ class mpmc_queue {
           std::construct_at(c.ptr(), std::move(value));
           c.rg.first.store(rank, std::memory_order_release);  // publish
           flush_waits();
+          trc_.on_enqueue(t0, rank);
           return true;
         }
         ++retries;
+        trc_.on_dwcas_retry(rank);
         continue;
       }
       // r == kCellReserved: another producer is between its claim and
@@ -344,6 +372,7 @@ class mpmc_queue {
   /// shared by dequeue / try_dequeue / dequeue_bulk.
   template <typename Sink>
   rank_state resolve_rank(std::int64_t rank, Sink&& sink) noexcept {
+    const std::uint64_t t0 = trc_.now();
     auto& c = cells_[cap_.template slot<Layout>(rank)];
     ffq::runtime::yielding_backoff backoff;
     std::uint64_t pauses = 0;  // flushed once per episode, not per pause
@@ -353,11 +382,13 @@ class mpmc_queue {
         std::destroy_at(c.ptr());
         c.rg.first.store(detail::kCellFree, std::memory_order_release);
         tel_.on_backoff_pauses(pauses);
+        trc_.on_dequeue(t0, rank);
         return rank_state::taken;
       }
       if (c.rg.second.load(std::memory_order_acquire) >= rank &&
           c.rg.first.load(std::memory_order_acquire) != rank) {
         tel_.on_consumer_skip();
+        trc_.on_skip(rank);
         tel_.on_backoff_pauses(pauses);
         return rank_state::skipped;
       }
@@ -383,6 +414,9 @@ class mpmc_queue {
   // Replaces the old ad-hoc gaps_/skips_ pair. Empty under the disabled
   // policy (static_asserts in tests/test_telemetry.cpp).
   [[no_unique_address]] ffq::telemetry::queue_counters<Telemetry> tel_;
+  // Trace hook block: a 2-byte queue id when tracing is on, empty when
+  // off (static_asserts in tests/test_trace.cpp).
+  [[no_unique_address]] ffq::trace::queue_tracer<Trace> trc_{kName};
 };
 
 }  // namespace ffq::core

@@ -50,8 +50,20 @@
 #include "ffq/runtime/backoff.hpp"
 #include "ffq/runtime/cacheline.hpp"
 #include "ffq/telemetry/counters.hpp"
+#include "ffq/trace/tracer.hpp"
 
 namespace ffq::core {
+
+namespace detail {
+
+/// Racy diagnostic view of one cell's control fields, returned by the
+/// queues' inspect_rank() for the trace watchdog's post-mortem dumps.
+struct cell_probe {
+  std::int64_t rank = -1;
+  std::int64_t gap = -1;
+};
+
+}  // namespace detail
 
 namespace detail {
 
@@ -81,7 +93,8 @@ struct alignas(ffq::runtime::kCacheLineSize) spmc_cell<T, true>
 /// exceed the maximum number of in-flight items (the paper's implicit
 /// flow-control assumption) for enqueue to stay wait-free.
 template <typename T, typename Layout = layout_aligned,
-          typename Telemetry = ffq::telemetry::default_policy>
+          typename Telemetry = ffq::telemetry::default_policy,
+          typename Trace = ffq::trace::default_policy>
 class spmc_queue {
   static_assert(std::is_nothrow_move_constructible_v<T>,
                 "cell publication cannot be rolled back after a throwing move");
@@ -90,6 +103,7 @@ class spmc_queue {
   using value_type = T;
   using layout_type = Layout;
   using telemetry_policy = Telemetry;
+  using trace_policy = Trace;
   static constexpr const char* kName = "ffq-spmc";
 
   explicit spmc_queue(std::size_t capacity)
@@ -115,9 +129,11 @@ class spmc_queue {
   void enqueue(T value) noexcept {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
+    const std::uint64_t t0 = trc_.now();
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
     std::uint64_t stalls = 0;  // flushed once per call, not per pause
+    bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (;;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
@@ -131,6 +147,10 @@ class spmc_queue {
           // becomes available"). Wait-freedom is already forfeit in this
           // regime.
           ++stalls;
+          if (!stall_traced) {  // one instant per episode, not per pause
+            trc_.on_full_stall(t);
+            stall_traced = true;
+          }
           if (ffq::telemetry::flush_due(stalls)) {
             tel_.on_full_stalls(stalls);
             stalls = 0;
@@ -144,8 +164,9 @@ class spmc_queue {
         // then carries the latest skipped rank, which is all consumers
         // need ("gap ≥ rank").
         c.gap.store(t, std::memory_order_release);
-        ++t;
         tel_.on_gap_created();
+        trc_.on_gap(t);
+        ++t;
         ++consecutive_skips;
         continue;
       }
@@ -156,6 +177,7 @@ class spmc_queue {
     }
     tel_.on_full_stalls(stalls);
     tail_->store(t, std::memory_order_release);
+    trc_.on_enqueue(t0, t - 1);
   }
 
   /// Enqueue `n` items from `first` (producer thread only). Same cell
@@ -168,15 +190,21 @@ class spmc_queue {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
     tel_.on_bulk(n);
+    std::uint64_t it0 = trc_.now();  // per-item begin timestamp
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
     std::uint64_t stalls = 0;
+    bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (std::size_t i = 0; i < n;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
           ++stalls;
+          if (!stall_traced) {
+            trc_.on_full_stall(t);
+            stall_traced = true;
+          }
           if (ffq::telemetry::flush_due(stalls)) {
             tel_.on_full_stalls(stalls);
             stalls = 0;
@@ -185,13 +213,17 @@ class spmc_queue {
           continue;
         }
         c.gap.store(t, std::memory_order_release);
-        ++t;
         tel_.on_gap_created();
+        trc_.on_gap(t);
+        ++t;
         ++consecutive_skips;
         continue;
       }
       std::construct_at(c.ptr(), std::move(*first));
       c.rank.store(t, std::memory_order_release);
+      trc_.on_enqueue(it0, t);
+      it0 = trc_.now();
+      stall_traced = false;
       ++t;
       ++first;
       ++i;
@@ -329,6 +361,21 @@ class spmc_queue {
     return tel_;
   }
 
+  /// Watchdog introspection (racy, diagnostic only): the next rank
+  /// consumers will draw, the next rank the producer will place, and the
+  /// control fields of the cell a rank maps to.
+  std::int64_t head_rank() const noexcept {
+    return head_->load(std::memory_order_relaxed);
+  }
+  std::int64_t tail_rank() const noexcept {
+    return tail_->load(std::memory_order_relaxed);
+  }
+  detail::cell_probe inspect_rank(std::int64_t rank) const noexcept {
+    const auto& c = cells_[cap_.template slot<Layout>(rank)];
+    return {c.rank.load(std::memory_order_relaxed),
+            c.gap.load(std::memory_order_relaxed)};
+  }
+
  private:
   using cell = detail::spmc_cell<T, Layout::kCacheAligned>;
 
@@ -340,6 +387,7 @@ class spmc_queue {
   /// back-off) while the producer is still writing this rank.
   template <typename Sink>
   rank_state resolve_rank(std::int64_t rank, Sink&& sink) noexcept {
+    const std::uint64_t t0 = trc_.now();
     auto& c = cells_[cap_.template slot<Layout>(rank)];
     ffq::runtime::yielding_backoff backoff;
     std::uint64_t pauses = 0;  // flushed once per episode, not per pause
@@ -351,6 +399,7 @@ class spmc_queue {
         std::destroy_at(c.ptr());
         c.rank.store(-1, std::memory_order_release);  // linearization point
         tel_.on_backoff_pauses(pauses);
+        trc_.on_dequeue(t0, rank);
         return rank_state::taken;
       }
       // Skipped? gap must be read before the rank re-check: the
@@ -360,6 +409,7 @@ class spmc_queue {
       if (c.gap.load(std::memory_order_acquire) >= rank &&
           c.rank.load(std::memory_order_acquire) != rank) {
         tel_.on_consumer_skip();
+        trc_.on_skip(rank);
         tel_.on_backoff_pauses(pauses);
         return rank_state::skipped;
       }
@@ -389,6 +439,10 @@ class spmc_queue {
   // disabled policy, so sizeof matches the uninstrumented layout
   // (static_asserts in tests/test_telemetry.cpp).
   [[no_unique_address]] ffq::telemetry::queue_counters<Telemetry> tel_;
+  // Trace hook block: a 2-byte queue id when tracing is on, empty (and
+  // address-free) when off — the OFF layout stays byte-identical
+  // (static_asserts in tests/test_trace.cpp).
+  [[no_unique_address]] ffq::trace::queue_tracer<Trace> trc_{kName};
 };
 
 }  // namespace ffq::core

@@ -26,14 +26,16 @@
 #include "ffq/runtime/backoff.hpp"
 #include "ffq/runtime/cacheline.hpp"
 #include "ffq/telemetry/counters.hpp"
+#include "ffq/trace/tracer.hpp"
 
 namespace ffq::core {
 
-template <typename T, typename Layout, typename Telemetry>
+template <typename T, typename Layout, typename Telemetry, typename Trace>
 class waitable_spsc_queue;
 
 template <typename T, typename Layout = layout_aligned,
-          typename Telemetry = ffq::telemetry::default_policy>
+          typename Telemetry = ffq::telemetry::default_policy,
+          typename Trace = ffq::trace::default_policy>
 class spsc_queue {
   static_assert(std::is_nothrow_move_constructible_v<T>,
                 "cell publication cannot be rolled back after a throwing move");
@@ -42,6 +44,7 @@ class spsc_queue {
   using value_type = T;
   using layout_type = Layout;
   using telemetry_policy = Telemetry;
+  using trace_policy = Trace;
   static constexpr const char* kName = "ffq-spsc";
 
   explicit spsc_queue(std::size_t capacity)
@@ -65,9 +68,11 @@ class spsc_queue {
   void enqueue(T value) noexcept {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
+    const std::uint64_t t0 = trc_.now();
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
     std::uint64_t stalls = 0;  // flushed once per call, not per pause
+    bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (;;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
@@ -77,6 +82,10 @@ class spsc_queue {
           // instead of flooding the consumer with gap ranks. See the
           // matching comment in spmc_queue::enqueue.
           ++stalls;
+          if (!stall_traced) {  // one instant per episode, not per pause
+            trc_.on_full_stall(t);
+            stall_traced = true;
+          }
           if (ffq::telemetry::flush_due(stalls)) {
             tel_.on_full_stalls(stalls);
             stalls = 0;
@@ -85,8 +94,9 @@ class spsc_queue {
           continue;
         }
         c.gap.store(t, std::memory_order_release);
-        ++t;
         tel_.on_gap_created();
+        trc_.on_gap(t);
+        ++t;
         ++consecutive_skips;
         continue;
       }
@@ -97,6 +107,7 @@ class spsc_queue {
     }
     tel_.on_full_stalls(stalls);
     tail_->store(t, std::memory_order_release);
+    trc_.on_enqueue(t0, t - 1);
   }
 
   /// Producer thread only. Enqueue `n` items from `first` with the same
@@ -107,15 +118,21 @@ class spsc_queue {
     assert(closed_tail_.load(std::memory_order_relaxed) < 0 &&
            "enqueue after close()");
     tel_.on_bulk(n);
+    std::uint64_t it0 = trc_.now();  // per-item begin timestamp
     std::int64_t t = tail_->load(std::memory_order_relaxed);
     std::size_t consecutive_skips = 0;
     std::uint64_t stalls = 0;
+    bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (std::size_t i = 0; i < n;) {
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
           ++stalls;
+          if (!stall_traced) {
+            trc_.on_full_stall(t);
+            stall_traced = true;
+          }
           if (ffq::telemetry::flush_due(stalls)) {
             tel_.on_full_stalls(stalls);
             stalls = 0;
@@ -124,13 +141,17 @@ class spsc_queue {
           continue;
         }
         c.gap.store(t, std::memory_order_release);
-        ++t;
         tel_.on_gap_created();
+        trc_.on_gap(t);
+        ++t;
         ++consecutive_skips;
         continue;
       }
       std::construct_at(c.ptr(), std::move(*first));
       c.rank.store(t, std::memory_order_release);
+      trc_.on_enqueue(it0, t);
+      it0 = trc_.now();
+      stall_traced = false;
       ++t;
       ++first;
       ++i;
@@ -144,6 +165,7 @@ class spsc_queue {
   /// Safe because `head` is consumer-private — an abandoned poll consumes
   /// no rank.
   bool try_dequeue(T& out) noexcept {
+    const std::uint64_t t0 = trc_.now();
     std::int64_t h = (*head_);
     for (;;) {
       auto& c = cells_[cap_.template slot<Layout>(h)];
@@ -152,12 +174,14 @@ class spsc_queue {
         std::destroy_at(c.ptr());
         c.rank.store(-1, std::memory_order_release);
         (*head_) = h + 1;
+        trc_.on_dequeue(t0, h);
         return true;
       }
       if (c.gap.load(std::memory_order_acquire) >= h &&
           c.rank.load(std::memory_order_acquire) != h) {
-        ++h;  // our rank was skipped; advance past the gap
         tel_.on_consumer_skip();
+        trc_.on_skip(h);
+        ++h;  // our rank was skipped; advance past the gap
         continue;
       }
       (*head_) = h;  // remember progress past consumed gaps
@@ -194,6 +218,7 @@ class spsc_queue {
   /// partial (or empty) batch abandons nothing.
   template <typename OutIt>
   std::size_t try_dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    std::uint64_t it0 = trc_.now();  // per-item begin timestamp
     std::int64_t h = (*head_);
     std::size_t taken = 0;
     while (taken < max_n) {
@@ -203,14 +228,17 @@ class spsc_queue {
         ++out;
         std::destroy_at(c.ptr());
         c.rank.store(-1, std::memory_order_release);
+        trc_.on_dequeue(it0, h);
+        it0 = trc_.now();
         ++h;
         ++taken;
         continue;
       }
       if (c.gap.load(std::memory_order_acquire) >= h &&
           c.rank.load(std::memory_order_acquire) != h) {
-        ++h;  // gap rank: advance past it within the same scan
         tel_.on_consumer_skip();
+        trc_.on_skip(h);
+        ++h;  // gap rank: advance past it within the same scan
         continue;
       }
       break;  // next rank not published yet
@@ -275,10 +303,27 @@ class spsc_queue {
     return tel_;
   }
 
+  /// Watchdog introspection (racy, diagnostic only). head is
+  /// consumer-private and non-atomic, so the cross-thread peek goes
+  /// through an atomic_ref — same bytes, race-free read.
+  std::int64_t head_rank() const noexcept {
+    // atomic_ref<const T> is C++26; the const_cast is load-only.
+    return std::atomic_ref<std::int64_t>(const_cast<std::int64_t&>(*head_))
+        .load(std::memory_order_relaxed);
+  }
+  std::int64_t tail_rank() const noexcept {
+    return tail_->load(std::memory_order_relaxed);
+  }
+  detail::cell_probe inspect_rank(std::int64_t rank) const noexcept {
+    const auto& c = cells_[cap_.template slot<Layout>(rank)];
+    return {c.rank.load(std::memory_order_relaxed),
+            c.gap.load(std::memory_order_relaxed)};
+  }
+
  private:
   // The waitable wrapper funnels its park/wake events into this queue's
   // counter block so one telemetry() call covers the whole stack.
-  friend class waitable_spsc_queue<T, Layout, Telemetry>;
+  friend class waitable_spsc_queue<T, Layout, Telemetry, Trace>;
 
   using cell = detail::spmc_cell<T, Layout::kCacheAligned>;
 
@@ -293,6 +338,9 @@ class spsc_queue {
   // identical to the uninstrumented pre-telemetry layout (verified by
   // static_asserts in tests/test_telemetry.cpp).
   [[no_unique_address]] ffq::telemetry::queue_counters<Telemetry> tel_;
+  // Trace hook block: a 2-byte queue id when tracing is on, empty when
+  // off (static_asserts in tests/test_trace.cpp).
+  [[no_unique_address]] ffq::trace::queue_tracer<Trace> trc_{kName};
 };
 
 }  // namespace ffq::core

@@ -26,11 +26,13 @@
 namespace ffq::core {
 
 template <typename T, typename Layout = layout_aligned,
-          typename Telemetry = ffq::telemetry::default_policy>
+          typename Telemetry = ffq::telemetry::default_policy,
+          typename Trace = ffq::trace::default_policy>
 class waitable_spsc_queue {
  public:
   using value_type = T;
   using telemetry_policy = Telemetry;
+  using trace_policy = Trace;
   static constexpr const char* kName = "ffq-spsc-waitable";
 
   /// Spins this many light rounds before parking (covers the common
@@ -86,6 +88,7 @@ class waitable_spsc_queue {
         return q_.try_dequeue(out);
       }
       q_.tel_.on_park();
+      q_.trc_.on_park();
       ec_.wait(key);
     }
   }
@@ -112,6 +115,7 @@ class waitable_spsc_queue {
         return q_.try_dequeue_bulk(out, max_n);
       }
       q_.tel_.on_park();
+      q_.trc_.on_park();
       ec_.wait(key);
     }
   }
@@ -130,6 +134,13 @@ class waitable_spsc_queue {
   /// Diagnostic: waiters currently parked (racy).
   std::uint32_t approx_waiters() const noexcept { return ec_.approx_waiters(); }
 
+  /// Watchdog introspection, forwarded to the inner queue.
+  std::int64_t head_rank() const noexcept { return q_.head_rank(); }
+  std::int64_t tail_rank() const noexcept { return q_.tail_rank(); }
+  auto inspect_rank(std::int64_t rank) const noexcept {
+    return q_.inspect_rank(rank);
+  }
+
   /// One unified counter block for the whole stack: park/wake events are
   /// folded into the inner queue's telemetry.
   const ffq::telemetry::queue_counters<Telemetry>& telemetry() const noexcept {
@@ -140,12 +151,15 @@ class waitable_spsc_queue {
   /// Count a wake-up only when a consumer is (racily) parked — mirroring
   /// when notify_one/notify_all actually issue a futex wake.
   void count_wake() noexcept {
-    if constexpr (Telemetry::kEnabled) {
-      if (ec_.approx_waiters() > 0) q_.tel_.on_wake();
+    if constexpr (Telemetry::kEnabled || Trace::kEnabled) {
+      if (ec_.approx_waiters() > 0) {
+        q_.tel_.on_wake();
+        q_.trc_.on_wake();
+      }
     }
   }
 
-  spsc_queue<T, Layout, Telemetry> q_;
+  spsc_queue<T, Layout, Telemetry, Trace> q_;
   ffq::runtime::eventcount ec_;
 };
 

@@ -58,11 +58,22 @@ struct bench_cli {
   std::string csv_path;      ///< empty = no CSV
   std::string json_path;     ///< empty = no JSON report
   std::string metrics_path;  ///< empty = no standalone metrics snapshot
+  std::string trace_path;    ///< empty = no "ffq.trace.v1" export
   int runs = 10;             ///< repetitions per configuration
   double scale = 1.0;        ///< workload scale factor (ops multiplier)
   bool quick = false;        ///< --quick: 3 runs, 1/10 workload
 
   static bench_cli parse(int argc, char** argv);
 };
+
+/// Write the "ffq.trace.v1" Chrome trace (every per-thread event ring
+/// captured so far, merged; see DESIGN.md §9) when --trace was given.
+/// `metrics` is embedded as counter tracks when non-null. Returns true
+/// when nothing was requested or the write succeeded. In a build whose
+/// queues use trace::disabled the file is still written — it just
+/// carries only the thread-name metadata.
+bool write_trace_if_requested(const bench_cli& cli,
+                              const ffq::telemetry::metrics_snapshot* metrics =
+                                  nullptr);
 
 }  // namespace ffq::harness

@@ -68,6 +68,12 @@ struct service_config {
   /// totals. The paper reports only the latency *average*; the
   /// histograms expose the tail (DESIGN.md §8).
   bool collect_telemetry = false;
+  /// When non-empty, write an "ffq.trace.v1" Chrome/Perfetto trace of
+  /// the run to this path after the service finishes. Worker threads
+  /// are named ("app-N", "os-N") so tracks read meaningfully in the
+  /// viewer. In FFQ_TRACE=OFF builds the queues emit no events, so the
+  /// file carries thread names only.
+  std::string trace_path;
 };
 
 struct service_result {

@@ -1,0 +1,368 @@
+// json_reader.hpp — a minimal RFC 8259 recursive-descent JSON reader.
+//
+// The repo has exactly one JSON *writer* (telemetry/json.hpp); this is
+// its counterpart for the two places that must read JSON back:
+// tools/trace_check (validating an exported "ffq.trace.v1" file) and the
+// round-trip test that proves the export is RFC 8259-clean. It is a
+// strict reader — no comments, no trailing commas, no NaN/Infinity —
+// precisely so that "parses here" means "parses anywhere".
+//
+// Numbers are kept as both double and (when exactly representable)
+// int64, because trace fields mix reals (ts, dur in µs) and integers
+// (rank, seq, pid/tid). Not a general-purpose library: documents are
+// trusted size-wise (depth-capped), keys are unique-last-wins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ffq::trace::json {
+
+class value;
+using array = std::vector<value>;
+using object = std::map<std::string, value>;
+
+class value {
+ public:
+  enum class kind { null, boolean, number, string, array, object };
+
+  value() = default;
+  explicit value(bool b) : kind_(kind::boolean), bool_(b) {}
+  explicit value(double d) : kind_(kind::number), num_(d) {}
+  explicit value(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+  explicit value(array a)
+      : kind_(kind::array), arr_(std::make_shared<array>(std::move(a))) {}
+  explicit value(object o)
+      : kind_(kind::object), obj_(std::make_shared<object>(std::move(o))) {}
+
+  kind type() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == kind::null; }
+  bool is_object() const noexcept { return kind_ == kind::object; }
+  bool is_array() const noexcept { return kind_ == kind::array; }
+  bool is_string() const noexcept { return kind_ == kind::string; }
+  bool is_number() const noexcept { return kind_ == kind::number; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_double() const noexcept { return num_; }
+  std::int64_t as_int() const noexcept {
+    return static_cast<std::int64_t>(num_);
+  }
+  const std::string& as_string() const noexcept { return str_; }
+  const array& as_array() const { return *arr_; }
+  const object& as_object() const { return *obj_; }
+
+  /// Object member access; returns a shared null for missing keys so
+  /// lookups chain without exceptions: v["args"]["rank"].as_int().
+  const value& operator[](const std::string& key) const {
+    static const value null_value;
+    if (kind_ != kind::object) return null_value;
+    const auto it = obj_->find(key);
+    return it == obj_->end() ? null_value : it->second;
+  }
+
+  /// Set during parsing when the number was an exact integer literal.
+  void set_int_exact(bool e) noexcept { int_exact_ = e; }
+  bool int_exact() const noexcept { return int_exact_; }
+
+ private:
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  bool int_exact_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<array> arr_;
+  std::shared_ptr<object> obj_;
+};
+
+struct parse_result {
+  bool ok = false;
+  std::string error;  ///< "offset N: message" when !ok
+  value root;
+};
+
+namespace detail {
+
+class parser {
+ public:
+  parser(const char* begin, const char* end) : p_(begin), begin_(begin),
+                                               end_(end) {}
+
+  parse_result run() {
+    parse_result res;
+    skip_ws();
+    res.root = parse_value(0);
+    if (!err_.empty()) {
+      res.error = err_;
+      return res;
+    }
+    skip_ws();
+    if (p_ != end_) {
+      res.error = at("trailing characters after document");
+      return res;
+    }
+    res.ok = true;
+    return res;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string at(const std::string& msg) const {
+    return "offset " + std::to_string(p_ - begin_) + ": " + msg;
+  }
+  value fail(const std::string& msg) {
+    if (err_.empty()) err_ = at(msg);
+    return value{};
+  }
+
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* s) {
+    const char* q = p_;
+    while (*s) {
+      if (q == end_ || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p_ = q;
+    return true;
+  }
+
+  value parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return parse_string_value();
+      case 't':
+        if (literal("true")) return value(true);
+        return fail("invalid literal");
+      case 'f':
+        if (literal("false")) return value(false);
+        return fail("invalid literal");
+      case 'n':
+        if (literal("null")) return value{};
+        return fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  value parse_object(int depth) {
+    ++p_;  // '{'
+    object obj;
+    skip_ws();
+    if (consume('}')) return value(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (p_ == end_ || *p_ != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return value{};
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after key");
+      skip_ws();
+      value v = parse_value(depth + 1);
+      if (!err_.empty()) return value{};
+      obj[std::move(key)] = std::move(v);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return value(std::move(obj));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  value parse_array(int depth) {
+    ++p_;  // '['
+    array arr;
+    skip_ws();
+    if (consume(']')) return value(std::move(arr));
+    while (true) {
+      skip_ws();
+      value v = parse_value(depth + 1);
+      if (!err_.empty()) return value{};
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return value(std::move(arr));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  value parse_string_value() {
+    std::string s;
+    if (!parse_string(s)) return value{};
+    return value(std::move(s));
+  }
+
+  bool parse_string(std::string& out) {
+    ++p_;  // '"'
+    while (p_ != end_) {
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) break;
+        switch (*p_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            ++p_;
+            unsigned cp = 0;
+            if (!read_hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+              if (!(consume('\\') && consume('u'))) {
+                fail("unpaired surrogate");
+                return false;
+              }
+              unsigned lo = 0;
+              if (!read_hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                fail("invalid low surrogate");
+                return false;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("unpaired surrogate");
+              return false;
+            }
+            append_utf8(out, cp);
+            continue;  // read_hex4 advanced p_ past the digits
+          }
+          default:
+            fail("invalid escape");
+            return false;
+        }
+        ++p_;
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++p_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool read_hex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (p_ == end_) {
+        fail("truncated \\u escape");
+        return false;
+      }
+      const char c = *p_++;
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  value parse_number() {
+    const char* start = p_;
+    bool integral = true;
+    if (consume('-')) {
+    }
+    if (p_ == end_ || *p_ < '0' || *p_ > '9') return fail("invalid number");
+    if (*p_ == '0') {
+      ++p_;
+      // RFC 8259: no leading zeros.
+      if (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+        return fail("leading zero in number");
+      }
+    } else {
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+    }
+    if (p_ != end_ && *p_ == '.') {
+      integral = false;
+      ++p_;
+      if (p_ == end_ || *p_ < '0' || *p_ > '9') {
+        return fail("digit required after '.'");
+      }
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      integral = false;
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || *p_ < '0' || *p_ > '9') {
+        return fail("digit required in exponent");
+      }
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+    }
+    value v(std::stod(std::string(start, p_)));
+    v.set_int_exact(integral);
+    return v;
+  }
+
+  const char* p_;
+  const char* begin_;
+  const char* end_;
+  std::string err_;
+};
+
+}  // namespace detail
+
+/// Parse a complete JSON document. `ok == false` carries an error with
+/// the byte offset of the first problem.
+inline parse_result parse(const std::string& text) {
+  return detail::parser(text.data(), text.data() + text.size()).run();
+}
+
+}  // namespace ffq::trace::json

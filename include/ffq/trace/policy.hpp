@@ -1,0 +1,38 @@
+// policy.hpp — the compile-time switch for queue event tracing.
+//
+// Tracing follows the telemetry precedent exactly (DESIGN.md §8, §9):
+// every queue takes a `Trace` template parameter that is either
+// `trace::enabled` or `trace::disabled`, and the CMake option `FFQ_TRACE`
+// only selects which one `default_policy` aliases. So
+//   * a default (OFF) build compiles the disabled policy everywhere —
+//     the tracer is an empty class with no-op inline members held through
+//     [[no_unique_address]], leaving sizeof, alignment, and codegen of
+//     every queue byte-identical (mirror-struct static_asserts in
+//     tests/test_trace.cpp);
+//   * tests, the stress tool, and the watchdog demo instantiate the
+//     enabled policy explicitly and therefore work in any build mode.
+//
+// Telemetry (counters: "how often") and trace (events: "when, in what
+// order, which thread") are orthogonal policies on the same hook sites;
+// either can be on without the other.
+#pragma once
+
+namespace ffq::trace {
+
+/// Policy tag: compile event emission into the queue hot paths.
+struct enabled {
+  static constexpr bool kEnabled = true;
+};
+
+/// Policy tag: all tracing compiles to nothing.
+struct disabled {
+  static constexpr bool kEnabled = false;
+};
+
+#if defined(FFQ_TRACE) && FFQ_TRACE
+using default_policy = enabled;
+#else
+using default_policy = disabled;
+#endif
+
+}  // namespace ffq::trace

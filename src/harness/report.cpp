@@ -10,6 +10,7 @@
 #include "ffq/runtime/timing.hpp"
 #include "ffq/runtime/topology.hpp"
 #include "ffq/telemetry/json.hpp"
+#include "ffq/trace/export.hpp"
 
 namespace ffq::harness {
 
@@ -138,6 +139,8 @@ bench_cli bench_cli::parse(int argc, char** argv) {
       cli.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       cli.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      cli.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
       cli.runs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
@@ -147,7 +150,7 @@ bench_cli bench_cli::parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "flags: --csv <path>  --json <path>  --metrics <path>  "
-          "--runs <n>  --scale <f>  --quick\n");
+          "--trace <path>  --runs <n>  --scale <f>  --quick\n");
     }
   }
   if (cli.quick) {
@@ -156,6 +159,21 @@ bench_cli bench_cli::parse(int argc, char** argv) {
   }
   if (cli.runs < 1) cli.runs = 1;
   return cli;
+}
+
+bool write_trace_if_requested(const bench_cli& cli,
+                              const ffq::telemetry::metrics_snapshot* metrics) {
+  if (cli.trace_path.empty()) return true;
+  ffq::trace::export_options opts;
+  opts.metrics = metrics;
+  if (!ffq::trace::write_chrome_trace(cli.trace_path, opts)) {
+    std::fprintf(stderr, "cannot write trace to %s\n",
+                 cli.trace_path.c_str());
+    return false;
+  }
+  std::printf("trace written to %s (open at ui.perfetto.dev)\n",
+              cli.trace_path.c_str());
+  return true;
 }
 
 }  // namespace ffq::harness

@@ -16,6 +16,8 @@
 #include "ffq/runtime/topology.hpp"
 #include "ffq/runtime/affinity.hpp"
 #include "ffq/telemetry/registry.hpp"
+#include "ffq/trace/export.hpp"
+#include "ffq/trace/registry.hpp"
 
 namespace ffq::sgxsim {
 
@@ -225,6 +227,9 @@ service_result run_sgx_ffq(const service_config& cfg) {
   for (int j = 0; j < oss; ++j) {
     threads.emplace_back([&, j] {
       maybe_pin(cfg, topo, apps + j);
+      if (!cfg.trace_path.empty()) {
+        ffq::trace::set_thread_name("os-" + std::to_string(j));
+      }
       auto& sub = *submissions[static_cast<std::size_t>(j % apps)];
       auto& resp = *responses[static_cast<std::size_t>(j % apps)]
                              [static_cast<std::size_t>(j / apps)];
@@ -253,6 +258,9 @@ service_result run_sgx_ffq(const service_config& cfg) {
   for (int a = 0; a < apps; ++a) {
     threads.emplace_back([&, a] {
       maybe_pin(cfg, topo, a);
+      if (!cfg.trace_path.empty()) {
+        ffq::trace::set_thread_name("app-" + std::to_string(a));
+      }
       enclave_thread enclave(cfg.cost, &transitions);
       enclave.eenter();
       auto* enq = rec.enqueue != nullptr ? rec.enqueue->new_shard() : nullptr;
@@ -431,17 +439,31 @@ service_result run_sgx_mpmc(const service_config& cfg) {
 }  // namespace
 
 service_result run_syscall_service(const service_config& cfg) {
+  service_result res{};
   switch (cfg.variant) {
     case service_variant::native:
-      return run_native(cfg);
+      res = run_native(cfg);
+      break;
     case service_variant::sgx_sync:
-      return run_sgx_sync(cfg);
+      res = run_sgx_sync(cfg);
+      break;
     case service_variant::sgx_ffq:
-      return run_sgx_ffq(cfg);
+      res = run_sgx_ffq(cfg);
+      break;
     case service_variant::sgx_mpmc:
-      return run_sgx_mpmc(cfg);
+      res = run_sgx_mpmc(cfg);
+      break;
   }
-  return {};
+  if (!cfg.trace_path.empty()) {
+    ffq::trace::export_options opts;
+    tel::metrics_snapshot snap;
+    if (cfg.collect_telemetry) {
+      snap = tel::registry::instance().snapshot();
+      if (!snap.empty()) opts.metrics = &snap;
+    }
+    ffq::trace::write_chrome_trace(cfg.trace_path, opts);
+  }
+  return res;
 }
 
 }  // namespace ffq::sgxsim

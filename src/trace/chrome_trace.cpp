@@ -1,0 +1,162 @@
+// chrome_trace.cpp — merge per-thread trace rings and render Chrome
+// Trace Event JSON ("ffq.trace.v1"). Format contract in
+// include/ffq/trace/export.hpp; byte-stability (fixed key order, one
+// event per line, %.3f microsecond timestamps, std::map-ordered counter
+// tracks) is what makes the golden-file test possible.
+
+#include "ffq/trace/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+#include "ffq/runtime/timing.hpp"
+#include "ffq/telemetry/json.hpp"
+#include "ffq/trace/registry.hpp"
+
+namespace ffq::trace {
+
+namespace {
+
+constexpr int kPid = 1;  // one process; pid only namespaces the tracks
+
+/// "%.3f" without locale surprises: snprintf in the C locale territory
+/// of digits only (values are non-negative microsecond offsets).
+std::string us3(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+void append_event_args(std::string& out, const std::string& queue_name,
+                       const event_record& r) {
+  out += "\"args\":{\"queue\":\"";
+  out += ffq::telemetry::json_escape(queue_name);
+  out += "\",\"rank\":";
+  out += std::to_string(r.arg);
+  out += ",\"seq\":";
+  out += std::to_string(r.seq);
+  out += "}}";
+}
+
+}  // namespace
+
+std::vector<merged_event> merge_snapshots(
+    const std::vector<thread_snapshot>& snaps) {
+  std::vector<merged_event> out;
+  std::size_t total = 0;
+  for (const auto& s : snaps) total += s.records.size();
+  out.reserve(total);
+  for (const auto& s : snaps) {
+    for (const auto& r : s.records) out.push_back(merged_event{s.tid, r});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const merged_event& a, const merged_event& b) {
+              return std::tie(a.rec.tsc, a.tid, a.rec.seq) <
+                     std::tie(b.rec.tsc, b.tid, b.rec.seq);
+            });
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<thread_snapshot>& snaps,
+                              const export_options& opts) {
+  const double ticks_per_us = opts.ticks_per_us > 0.0
+                                  ? opts.ticks_per_us
+                                  : ffq::runtime::tsc_ghz() * 1000.0;
+
+  const std::vector<merged_event> events = merge_snapshots(snaps);
+
+  std::uint64_t base = opts.base_tsc;
+  if (base == ~std::uint64_t{0}) {
+    base = 0;
+    if (!events.empty()) {
+      base = events.front().rec.tsc;  // merge order: min tsc is first
+      for (const auto& e : events) base = std::min(base, e.rec.tsc);
+    }
+  }
+  auto to_us = [&](std::uint64_t tsc) {
+    return us3(tsc >= base ? static_cast<double>(tsc - base) / ticks_per_us
+                           : 0.0);
+  };
+
+  // Queue-id -> display-name table, resolved once (events carry 16-bit
+  // ids; the registry owns the names).
+  auto& reg = registry::instance();
+
+  std::string out;
+  out.reserve(256 + events.size() * 160);
+  out += "{\"schema\":\"";
+  out += kTraceSchema;
+  out += "\",\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+  bool first = true;
+  auto line = [&](std::string&& ev) {
+    if (!first) out += ",\n";
+    first = false;
+    out += ev;
+  };
+
+  // Metadata: process track plus one named thread track per ring, in tid
+  // order (registry order), present even for threads with zero records.
+  line("{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+       ",\"name\":\"process_name\",\"args\":{\"name\":\"ffq\"}}");
+  for (const auto& s : snaps) {
+    line("{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+         ",\"tid\":" + std::to_string(s.tid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         ffq::telemetry::json_escape(s.name) + "\"}}");
+  }
+
+  std::uint64_t max_tsc = base;
+  for (const auto& e : events) {
+    const event_record& r = e.rec;
+    max_tsc = std::max(max_tsc, r.tsc);
+    const std::string qname = reg.queue_name(r.queue);
+    std::string ev;
+    ev.reserve(160);
+    if (is_duration(r.type)) {
+      ev += "{\"ph\":\"X\",\"name\":\"";
+      ev += to_string(r.type);
+      ev += "\",\"cat\":\"queue\",\"pid\":" + std::to_string(kPid) +
+            ",\"tid\":" + std::to_string(e.tid) + ",\"ts\":" + to_us(r.tsc) +
+            ",\"dur\":" +
+            us3(static_cast<double>(r.dur) / ticks_per_us) + ",";
+    } else {
+      // "s":"t": thread-scoped instant (a tick on that thread's track).
+      ev += "{\"ph\":\"i\",\"name\":\"";
+      ev += to_string(r.type);
+      ev += "\",\"cat\":\"queue\",\"s\":\"t\",\"pid\":" +
+            std::to_string(kPid) + ",\"tid\":" + std::to_string(e.tid) +
+            ",\"ts\":" + to_us(r.tsc) + ",";
+    }
+    append_event_args(ev, qname, r);
+    line(std::move(ev));
+  }
+
+  // Counter tracks from the metrics snapshot, stamped at the end of the
+  // timeline: the overlay answers "how many gaps/retries in total did
+  // this timeline rack up". std::map order keeps it deterministic.
+  if (opts.metrics != nullptr) {
+    const std::string ts_end = to_us(max_tsc);
+    for (const auto& [key, val] : opts.metrics->counters) {
+      line("{\"ph\":\"C\",\"name\":\"" + ffq::telemetry::json_escape(key) +
+           "\",\"pid\":" + std::to_string(kPid) + ",\"ts\":" + ts_end +
+           ",\"args\":{\"value\":" + std::to_string(val) + "}}");
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const export_options& opts) {
+  const auto snaps = registry::instance().snapshot_all();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << chrome_trace_json(snaps, opts);
+  return static_cast<bool>(f);
+}
+
+}  // namespace ffq::trace

@@ -1,0 +1,270 @@
+// watchdog.cpp — liveness sampling, stall classification, and the
+// post-mortem dump renderer. Contract in include/ffq/trace/watchdog.hpp.
+//
+// Lock ordering: the watchdog mutex is taken first, the trace-registry
+// mutex (inside for_each_ring / snapshot) second; registry methods never
+// call back into the watchdog, so the order is acyclic. The sink runs
+// with the watchdog mutex *dropped* so a sink may call dump_now().
+
+#include "ffq/trace/watchdog.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "ffq/trace/registry.hpp"
+
+namespace ffq::trace {
+
+namespace {
+
+/// Severity order for the sticky last_verdict(): protocol violations
+/// outrank liveness incidents, which outrank ok.
+int severity(verdict v) noexcept {
+  switch (v) {
+    case verdict::ok: return 0;
+    case verdict::stuck_consumer: return 1;
+    case verdict::full_ring_livelock: return 2;
+    case verdict::stuck_producer: return 3;
+    case verdict::lost_rank: return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* to_string(verdict v) noexcept {
+  switch (v) {
+    case verdict::ok: return "ok";
+    case verdict::stuck_consumer: return "stuck_consumer";
+    case verdict::stuck_producer: return "stuck_producer";
+    case verdict::full_ring_livelock: return "full_ring_livelock";
+    case verdict::lost_rank: return "lost_rank";
+  }
+  return "?";
+}
+
+watchdog::watchdog() : watchdog(config{}) {}
+
+watchdog::watchdog(config cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.sink) {
+    cfg_.sink = [](verdict, const std::string& dump) {
+      std::fputs(dump.c_str(), stderr);
+    };
+  }
+}
+
+watchdog::~watchdog() { stop(); }
+
+void watchdog::add_probe(queue_probe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.push_back(std::move(probe));
+  states_.emplace_back();
+}
+
+void watchdog::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  last_verdict_ = verdict::ok;
+  triggers_ = 0;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    states_[i].last_head = probes_[i].head();
+    states_[i].last_progress_at = now;
+    states_[i].reported = false;
+  }
+  ring_progress_.clear();
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+void watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+verdict watchdog::last_verdict() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_verdict_;
+}
+
+std::uint64_t watchdog::triggers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggers_;
+}
+
+std::string watchdog::dump_now() {
+  std::unique_lock<std::mutex> lock(mu_);
+  update_ring_progress(std::chrono::steady_clock::now());
+  std::string out;
+  if (probes_.empty()) {
+    out = render_dump(verdict::ok, static_cast<std::size_t>(-1));
+  } else {
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      out += render_dump(classify(probes_[i]), i);
+    }
+  }
+  return out;
+}
+
+void watchdog::sampler_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    cv_.wait_for(lock, cfg_.sample_interval, [this] { return !running_; });
+    if (!running_) break;
+    const auto now = std::chrono::steady_clock::now();
+    update_ring_progress(now);
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      const queue_probe& p = probes_[i];
+      probe_state& st = states_[i];
+      const std::int64_t head = p.head();
+      const std::int64_t tail = p.tail();
+      if (head != st.last_head) {  // consumers moved: incident (if any) over
+        st.last_head = head;
+        st.last_progress_at = now;
+        st.reported = false;
+        continue;
+      }
+      if (tail <= head) {  // idle, not stalled
+        st.last_progress_at = now;
+        st.reported = false;
+        continue;
+      }
+      if (now - st.last_progress_at < cfg_.stall_threshold) continue;
+      if (cfg_.once_per_incident && st.reported) continue;
+      st.reported = true;
+      const verdict v = classify(p);
+      if (severity(v) > severity(last_verdict_)) last_verdict_ = v;
+      ++triggers_;
+      const std::string dump = render_dump(v, i);
+      auto sink = cfg_.sink;  // copy: cfg_ is stable but the sink may block
+      lock.unlock();
+      sink(v, dump);
+      lock.lock();
+    }
+  }
+}
+
+void watchdog::update_ring_progress(
+    std::chrono::steady_clock::time_point now) {
+  registry::instance().for_each_ring([&](const trace_ring& r) {
+    auto [it, fresh] = ring_progress_.try_emplace(
+        r.tid(), ring_progress{r.progress(), now});
+    if (!fresh && it->second.epoch != r.progress()) {
+      it->second.epoch = r.progress();
+      it->second.changed_at = now;
+    }
+  });
+}
+
+verdict watchdog::classify(const queue_probe& p) const {
+  const std::int64_t head = p.head();
+  const std::int64_t tail = p.tail();
+  const cell_view c = p.cell(head);
+  // A -2 at the head rank's cell is an MPMC reservation: some producer
+  // claimed the cell but never published — consumers cannot decide the
+  // rank until it does.
+  if (c.rank == -2) return verdict::stuck_producer;
+  // The cell already holds a *later* rank and no gap covers head: rank
+  // `head` can never be decided. This is a protocol violation detector —
+  // the FFQ invariants say it cannot happen.
+  if (c.rank >= 0 && c.rank > head && c.gap < head) return verdict::lost_rank;
+  if (tail - head >= static_cast<std::int64_t>(p.capacity())) {
+    return verdict::full_ring_livelock;
+  }
+  return verdict::stuck_consumer;
+}
+
+std::string watchdog::render_dump(verdict v, std::size_t probe_idx) const {
+  const auto now = std::chrono::steady_clock::now();
+  std::ostringstream os;
+  os << "=== ffq watchdog: " << to_string(v) << " ===\n";
+
+  if (probe_idx < probes_.size()) {
+    const queue_probe& p = probes_[probe_idx];
+    const std::int64_t head = p.head();
+    const std::int64_t tail = p.tail();
+    os << "queue " << p.name << ": head=" << head << " tail=" << tail
+       << " pending=" << (tail - head) << " capacity=" << p.capacity()
+       << " closed=" << (p.closed() ? 1 : 0) << "\n";
+    os << "cells around head (rank: cell.rank cell.gap):\n";
+    const std::int64_t lo = std::max<std::int64_t>(0, head - 2);
+    const std::int64_t hi = head + 5;
+    for (std::int64_t r = lo; r <= hi; ++r) {
+      const cell_view c = p.cell(r);
+      os << "  rank " << r << ": " << c.rank << " " << c.gap;
+      if (r == head) os << "   <- head";
+      if (r == tail) os << "   <- tail";
+      os << "\n";
+    }
+    if (tail > hi || tail < lo) {
+      const cell_view c = p.cell(tail);
+      os << "  rank " << tail << ": " << c.rank << " " << c.gap
+         << "   <- tail\n";
+    }
+  }
+
+  os << "threads:\n";
+  bool named_stuck = false;
+  registry::instance().for_each_ring([&](const trace_ring& r) {
+    os << "  [" << r.tid() << "] " << r.name()
+       << ": progress=" << r.progress() << " written=" << r.written();
+    // A consumer = a thread that has consumed before (progress > 0); it
+    // is stalled if its epoch has not moved across the stall window.
+    const auto it = ring_progress_.find(r.tid());
+    if (r.progress() > 0 && it != ring_progress_.end() &&
+        it->second.epoch == r.progress() &&
+        now - it->second.changed_at >= cfg_.stall_threshold) {
+      os << "   STALLED CONSUMER";
+      named_stuck = true;
+    }
+    os << "\n";
+    const thread_snapshot snap = r.snapshot();
+    const std::size_t n =
+        std::min(cfg_.dump_last_events, snap.records.size());
+    if (n > 0) {
+      os << "    last events:";
+      for (std::size_t i = snap.records.size() - n; i < snap.records.size();
+           ++i) {
+        const event_record& e = snap.records[i];
+        os << " " << to_string(e.type) << "(" << e.arg << ")@" << e.seq;
+      }
+      os << "\n";
+    }
+  });
+
+  switch (v) {
+    case verdict::stuck_consumer:
+      os << "verdict: work is pending but the head rank has not advanced; "
+         << (named_stuck ? "the thread(s) marked STALLED CONSUMER above "
+                           "stopped consuming"
+                         : "no consumer thread is making progress")
+         << "\n";
+      break;
+    case verdict::stuck_producer:
+      os << "verdict: the head rank's cell holds a -2 reservation — a "
+            "producer claimed it and never published\n";
+      break;
+    case verdict::full_ring_livelock:
+      os << "verdict: the ring is full and neither head nor tail is "
+            "moving\n";
+      break;
+    case verdict::lost_rank:
+      os << "verdict: the head rank's cell holds a later rank with no "
+            "covering gap — the head rank can never be decided (protocol "
+            "violation)\n";
+      break;
+    case verdict::ok:
+      os << "verdict: all watched queues progressing or idle\n";
+      break;
+  }
+  os << "=== end dump ===\n";
+  return os.str();
+}
+
+}  // namespace ffq::trace

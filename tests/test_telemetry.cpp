@@ -34,14 +34,21 @@ using ffq::core::layout_aligned;
 namespace {
 
 using u64 = std::uint64_t;
+// Trace policy pinned to disabled: these mirrors isolate the *telemetry*
+// layout claim, and must hold in FFQ_TRACE=ON builds too.
 template <typename Policy>
-using spsc_q = ffq::core::spsc_queue<u64, layout_aligned, Policy>;
+using spsc_q =
+    ffq::core::spsc_queue<u64, layout_aligned, Policy, ffq::trace::disabled>;
 template <typename Policy>
-using spmc_q = ffq::core::spmc_queue<u64, layout_aligned, Policy>;
+using spmc_q =
+    ffq::core::spmc_queue<u64, layout_aligned, Policy, ffq::trace::disabled>;
 template <typename Policy>
-using mpmc_q = ffq::core::mpmc_queue<u64, layout_aligned, Policy>;
+using mpmc_q =
+    ffq::core::mpmc_queue<u64, layout_aligned, Policy, ffq::trace::disabled>;
 template <typename Policy>
-using waitable_q = ffq::core::waitable_spsc_queue<u64, layout_aligned, Policy>;
+using waitable_q =
+    ffq::core::waitable_spsc_queue<u64, layout_aligned, Policy,
+                                   ffq::trace::disabled>;
 
 using spmc_cell = ffq::core::detail::spmc_cell<u64, true>;
 using mpmc_cell = ffq::core::detail::mpmc_cell<u64, true>;
