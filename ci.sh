@@ -11,8 +11,15 @@
 #     validate (per-producer FIFO, no loss, no duplication);
 #  4. TSan sweep: the core queue test binaries plus the telemetry suite
 #     rebuilt with -fsanitize=thread (telemetry ON, so the instrumented
-#     hot paths are the ones checked) and run to completion — any
-#     reported race fails the script.
+#     hot paths are the ones checked) and run to completion, plus the
+#     MPMC trace_stress tool as a multi-threaded stress under TSan —
+#     halt_on_error=1 turns any reported race into a nonzero exit;
+#  5. check leg: FFQ_CHECK=ON build + full suite with live yield points,
+#     then check_explore end to end — exhaustive preemption-bound-2 DFS
+#     over the SPSC and SPMC models, a 10k-schedule seeded fuzz of all
+#     four real queues, and a mutation-catch gate: an intentionally
+#     injected line-29 bug must be caught with a schedule string that
+#     replays to the same violation.
 #
 # Usage: ./ci.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -42,10 +49,42 @@ TRACE_OUT="build-trace/ci_mpmc_trace.json"
 echo "=== tsan: queue + telemetry suites under ThreadSanitizer ==="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target test_spsc test_spmc test_mpmc test_waitable test_telemetry
-for t in test_spsc test_spmc test_mpmc test_waitable test_telemetry; do
+  --target test_spsc test_spmc test_mpmc test_waitable test_eventcount \
+           test_telemetry trace_stress
+for t in test_spsc test_spmc test_mpmc test_waitable test_eventcount \
+         test_telemetry; do
   echo "--- $t (tsan) ---"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done
+echo "--- trace_stress (tsan): MPMC contention as a race hunt ---"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/trace_stress \
+  --trace=build-tsan/tsan_stress_trace.json \
+  --producers=2 --consumers=2 --items=20000
+
+echo "=== check: deterministic schedule exploration (FFQ_CHECK=ON) ==="
+cmake --preset check >/dev/null
+cmake --build build-check -j "$JOBS"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+echo "--- exhaustive: preemption-bound-2 DFS over the SPSC + SPMC models ---"
+./build-check/tools/check_explore --model spsc --bound 2
+./build-check/tools/check_explore --model spmc --bound 2
+./build-check/tools/check_explore --model mpmc --fuzz 2000 --seed 1
+echo "--- seeded fuzz: 10000 schedules over every real queue ---"
+./build-check/tools/check_explore --queue all --fuzz 10000 --seed 1
+echo "--- mutation gate: injected line-29 bug must be caught and replay ---"
+MUT_OUT="build-check/mutation_catch.out"
+if ./build-check/tools/check_explore --model spmc \
+     --mutate skip_line29_recheck --bound 2 | tee "$MUT_OUT"; then
+  echo "ci.sh: FAIL — injected mutation was not caught"
+  exit 1
+fi
+MUT_SCHED=$(sed -n 's/^  schedule: //p' "$MUT_OUT" | head -n 1)
+test -n "$MUT_SCHED"
+if ./build-check/tools/check_explore --model spmc \
+     --mutate skip_line29_recheck --replay "$MUT_SCHED"; then
+  echo "ci.sh: FAIL — witness schedule did not reproduce the violation"
+  exit 1
+fi
+echo "mutation caught and reproduced by schedule $MUT_SCHED"
 
 echo "ci.sh: all checks passed"

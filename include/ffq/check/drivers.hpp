@@ -1,0 +1,70 @@
+// drivers.hpp — the three ways a schedule gets chosen.
+//
+// A driver is anything with `int pick(const std::vector<int>& runnable)`:
+// given the runnable task indices (spawn order, never empty), return the
+// one to step next, or -1 to abandon the run. The harness records every
+// pick into a schedule so any run — random or exhaustive — replays.
+//
+//  * random_driver   — seeded xoshiro256**; uniform over runnable tasks.
+//    Same seed, same program => same schedule, bit for bit.
+//  * replay_driver   — plays back a recorded schedule; returns -1 when
+//    the schedule is exhausted or names a task that is not runnable
+//    (divergence means the program changed since the schedule was
+//    recorded — the harness reports it rather than exploring silently).
+//
+// The third driver, preemption-bounded exhaustive DFS, lives in
+// explore.hpp: it needs to clone and restore states, which only the
+// model substrate supports, so it is not a pick()-style driver.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "ffq/check/schedule.hpp"
+#include "ffq/runtime/rng.hpp"
+
+namespace ffq::check {
+
+class random_driver {
+ public:
+  explicit random_driver(std::uint64_t seed) noexcept : rng_(seed) {}
+
+  int pick(const std::vector<int>& runnable) noexcept {
+    if (runnable.empty()) return -1;
+    return runnable[rng_.bounded(runnable.size())];
+  }
+
+ private:
+  ffq::runtime::xoshiro256ss rng_;
+};
+
+class replay_driver {
+ public:
+  explicit replay_driver(schedule s) noexcept : sched_(std::move(s)) {}
+
+  int pick(const std::vector<int>& runnable) noexcept {
+    if (pos_ >= sched_.picks.size()) return -1;  // schedule exhausted
+    const int t = sched_.picks[pos_];
+    if (std::find(runnable.begin(), runnable.end(), t) == runnable.end()) {
+      diverged_ = true;
+      return -1;
+    }
+    ++pos_;
+    return t;
+  }
+
+  /// True if a pick named a task that was no longer runnable — the
+  /// program being replayed differs from the one that was recorded.
+  bool diverged() const noexcept { return diverged_; }
+
+  /// True if every recorded pick was consumed.
+  bool exhausted() const noexcept { return pos_ >= sched_.picks.size(); }
+
+ private:
+  schedule sched_;
+  std::size_t pos_ = 0;
+  bool diverged_ = false;
+};
+
+}  // namespace ffq::check

@@ -1,0 +1,228 @@
+// harness.hpp — run a producer/consumer program over a *real* queue under
+// the cooperative scheduler, then judge the run with the oracles.
+//
+// The queue headers must be compiled with FFQ_CHECK=1 in this TU (the
+// `check` preset sets it globally; tests define it before any include) so
+// their FFQ_CHECK_YIELD() points are live — otherwise a whole queue
+// operation runs as one indivisible block and the exploration is vacuous.
+//
+// The program shape is fixed and small on purpose: P producers each
+// enqueue `items_per_producer` values (scalar or in batches), the last
+// producer to finish closes the queue, and C consumers drain it with
+// try_dequeue / try_dequeue_bulk + yield loops. Blocking dequeues are
+// never used — the waitable queue's park path enters a futex on the one
+// OS thread everything shares, and the SPMC/MPMC blocking paths commit to
+// a rank before observing emptiness; the try_* paths exercise the same
+// cell protocol without either hazard.
+//
+// Values encode their origin (producer * kProducerStride + seq), so a run
+// needs no side channel for the oracles: conservation, per-producer FIFO
+// per consumer stream, and — for histories of <= 64 ops — Wing–Gong
+// linearizability over invocation/response stamps drawn from a monotone
+// counter (exact in the cooperative setting: stamps only advance when the
+// harness advances).
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "ffq/check/drivers.hpp"
+#include "ffq/check/oracles.hpp"
+#include "ffq/check/sched.hpp"
+#include "ffq/check/schedule.hpp"
+#include "ffq/check/yield.hpp"
+#include "ffq/runtime/rng.hpp"
+
+namespace ffq::check {
+
+struct program_config {
+  std::size_t capacity = 8;
+  int producers = 1;
+  int consumers = 2;
+  int items_per_producer = 6;
+  /// 0 = scalar enqueue; n > 0 = enqueue_bulk in batches of n.
+  int enqueue_batch = 0;
+  /// 0 = scalar try_dequeue; n > 0 = try_dequeue_bulk of up to n.
+  int dequeue_batch = 0;
+  /// Abort the run (as a liveness violation) past this many steps.
+  std::uint64_t max_steps = 1'000'000;
+  bool check_linearizability = true;
+};
+
+struct run_result {
+  bool ok = true;
+  std::string violation;        // empty when ok
+  schedule sched;               // every pick, replayable via replay_driver
+  std::uint64_t steps = 0;
+  std::vector<long long> enqueued;
+  std::vector<long long> dequeued_sorted;          // ascending
+  std::vector<std::vector<long long>> streams;     // per consumer, in order
+};
+
+/// Run one program over a freshly-constructed Queue under `driver`.
+/// Driver is anything with `int pick(const std::vector<int>&)`.
+template <typename Queue, typename Driver>
+run_result run_program(const program_config& cfg, Driver& driver) {
+  run_result res;
+  Queue q(cfg.capacity);
+  coop_sched sched;
+
+  std::uint64_t stamp = 0;  // monotone invocation/response counter
+  std::vector<lin_op> history;
+  res.streams.assign(static_cast<std::size_t>(cfg.consumers), {});
+  int producers_left = cfg.producers;
+
+  for (int p = 0; p < cfg.producers; ++p) {
+    sched.spawn([&, p] {
+      std::vector<long long> batch;
+      auto flush = [&] {
+        if (batch.empty()) return;
+        const std::uint64_t inv = stamp++;
+        q.enqueue_bulk(batch.begin(), batch.size());
+        const std::uint64_t ret = stamp++;
+        for (long long v : batch) {
+          history.push_back({p, true, v, inv, ret});
+        }
+        batch.clear();
+      };
+      for (int i = 0; i < cfg.items_per_producer; ++i) {
+        const long long v = static_cast<long long>(p) * kProducerStride + i;
+        res.enqueued.push_back(v);
+        if (cfg.enqueue_batch > 0) {
+          batch.push_back(v);
+          if (static_cast<int>(batch.size()) >= cfg.enqueue_batch) flush();
+        } else {
+          const std::uint64_t inv = stamp++;
+          q.enqueue(v);
+          history.push_back({p, true, v, inv, stamp++});
+        }
+      }
+      flush();
+      if (--producers_left == 0) q.close();
+    });
+  }
+
+  for (int c = 0; c < cfg.consumers; ++c) {
+    sched.spawn([&, c] {
+      auto& stream = res.streams[static_cast<std::size_t>(c)];
+      const int tid = cfg.producers + c;
+      std::vector<long long> buf(
+          cfg.dequeue_batch > 0 ? static_cast<std::size_t>(cfg.dequeue_batch)
+                                : std::size_t{1});
+      for (;;) {
+        const std::uint64_t inv = stamp++;
+        std::size_t n = 0;
+        // Only SPSC-family queues offer a non-committal bulk claim; the
+        // SPMC/MPMC bulk dequeue blocks, which the cooperative harness
+        // must not do, so those fall back to the scalar try path.
+        constexpr bool kHasTryBulk =
+            requires(Queue& qq, long long* it) { qq.try_dequeue_bulk(it, 1); };
+        if constexpr (kHasTryBulk) {
+          if (cfg.dequeue_batch > 0) {
+            n = q.try_dequeue_bulk(buf.begin(), buf.size());
+          }
+        }
+        if (n == 0) {
+          long long v = 0;
+          n = q.try_dequeue(v) ? 1 : 0;
+          buf[0] = v;
+        }
+        if (n > 0) {
+          const std::uint64_t ret = stamp++;
+          for (std::size_t i = 0; i < n; ++i) {
+            stream.push_back(buf[i]);
+            history.push_back({tid, false, buf[i], inv, ret});
+          }
+          continue;
+        }
+        if (q.closed()) break;  // closed and this try found nothing: done
+        coop_sched::yield();    // empty but open: let someone else run
+      }
+    });
+  }
+
+  while (!sched.all_done()) {
+    const std::vector<int> runnable = sched.runnable();
+    const int pick = driver.pick(runnable);
+    if (pick < 0) {
+      res.ok = false;
+      res.violation = "schedule: driver stopped before the program finished";
+      res.steps = sched.steps();
+      return res;
+    }
+    res.sched.picks.push_back(pick);
+    sched.step(pick);
+    if (sched.steps() > cfg.max_steps) {
+      res.ok = false;
+      res.violation = "liveness: step bound " + std::to_string(cfg.max_steps) +
+                      " exceeded (livelock or starvation)";
+      res.steps = sched.steps();
+      return res;
+    }
+  }
+  res.steps = sched.steps();
+
+  // Oracles, cheapest first.
+  std::vector<long long> got;
+  for (const auto& s : res.streams) got.insert(got.end(), s.begin(), s.end());
+  res.dequeued_sorted = got;
+  std::sort(res.dequeued_sorted.begin(), res.dequeued_sorted.end());
+
+  std::string why;
+  if (!check_conservation(res.enqueued, got, &why) ||
+      !check_per_producer_fifo(res.streams, &why) ||
+      (cfg.check_linearizability && !check_linearizable(history, &why))) {
+    res.ok = false;
+    res.violation = why;
+  }
+  return res;
+}
+
+struct fuzz_result {
+  bool ok = true;
+  std::uint64_t runs = 0;
+  std::uint64_t failing_seed = 0;  // meaningful only when !ok
+  run_result failure;              // first failing run (when !ok)
+};
+
+/// Run `schedules` independent programs over Queue, each under a fresh
+/// random driver with a seed derived from `seed` via splitmix64 — so any
+/// failure is reproducible from (seed, run index) or, better, from the
+/// schedule string inside `failure`.
+template <typename Queue>
+fuzz_result fuzz_queue(const program_config& cfg, std::uint64_t seed,
+                       std::uint64_t schedules) {
+  fuzz_result out;
+  ffq::runtime::splitmix64 seeder(seed);
+  for (std::uint64_t i = 0; i < schedules; ++i) {
+    const std::uint64_t run_seed = seeder.next();
+    random_driver d(run_seed);
+    run_result r = run_program<Queue>(cfg, d);
+    ++out.runs;
+    if (!r.ok) {
+      out.ok = false;
+      out.failing_seed = run_seed;
+      out.failure = std::move(r);
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Replay a recorded schedule against Queue. Divergence (a pick naming a
+/// finished task, or the schedule ending early) is reported as a
+/// violation — the program must match the one that produced the trace.
+template <typename Queue>
+run_result replay_queue(const program_config& cfg, const schedule& s) {
+  replay_driver d(s);
+  run_result r = run_program<Queue>(cfg, d);
+  if (!r.ok && d.diverged()) {
+    r.violation = "replay: schedule diverged from the program (pick named a "
+                  "task that was not runnable)";
+  }
+  return r;
+}
+
+}  // namespace ffq::check

@@ -1,0 +1,61 @@
+// yield.hpp — the FFQ_CHECK_YIELD() hook that turns the real queues into
+// checkable state machines.
+//
+// The model machines (include/ffq/model) are steppable by construction:
+// every shared-memory access is one explicit step. The shipped queues are
+// not — they run on hardware atomics — so ffq::check instead instruments
+// their protocol loops with FFQ_CHECK_YIELD() scheduling points. In a
+// normal build the macro expands to nothing: no code, no data members, no
+// layout change (mirror-struct static_asserts in tests/test_check.cpp
+// prove byte-identical layouts, the same guarantee telemetry and trace
+// make). In a TU compiled with FFQ_CHECK=1 (the `check` CMake preset, or
+// a test that defines it before including the queue headers) the macro
+// calls through a thread-local hook that the cooperative scheduler
+// (sched.hpp) installs while it is stepping a task — so a queue running
+// inside a check task hands control back to the schedule driver at every
+// protocol step, and ordinary code in the same build pays one
+// thread-local load and a predicted-not-taken branch only.
+//
+// Yield points mark the boundaries the paper's arguments care about: the
+// head/tail fetch-and-adds, each iteration of the cell-resolution spins,
+// the gap-load → rank-re-check window of Algorithm 1 line 29, and the
+// MPMC claim(-2) → publish window of Algorithm 2.
+#pragma once
+
+namespace ffq::check {
+
+using yield_hook_fn = void (*)();
+
+/// Installed by coop_sched::step() for the duration of a task step;
+/// null whenever no checking scheduler is driving this thread.
+inline thread_local yield_hook_fn tl_yield_hook = nullptr;
+
+/// The out-of-line body of FFQ_CHECK_YIELD() in FFQ_CHECK builds.
+inline void yield_point() noexcept {
+  if (tl_yield_hook != nullptr) tl_yield_hook();
+}
+
+/// RAII installer, used by the scheduler (and handy in tests).
+class hook_guard {
+ public:
+  explicit hook_guard(yield_hook_fn fn) noexcept : prev_(tl_yield_hook) {
+    tl_yield_hook = fn;
+  }
+  ~hook_guard() { tl_yield_hook = prev_; }
+
+  hook_guard(const hook_guard&) = delete;
+  hook_guard& operator=(const hook_guard&) = delete;
+
+ private:
+  yield_hook_fn prev_;
+};
+
+}  // namespace ffq::check
+
+#ifndef FFQ_CHECK_YIELD
+#if defined(FFQ_CHECK) && FFQ_CHECK
+#define FFQ_CHECK_YIELD() ::ffq::check::yield_point()
+#else
+#define FFQ_CHECK_YIELD() ((void)0)
+#endif
+#endif

@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "ffq/check/yield.hpp"
 #include "ffq/core/layout.hpp"
 #include "ffq/runtime/aligned_buffer.hpp"
 #include "ffq/runtime/backoff.hpp"
@@ -105,6 +106,7 @@ class mpmc_queue {
            "enqueue after close()");
     std::size_t gaps_this_call = 0;
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the rank draw
       const std::int64_t rank = tail_->fetch_add(1, std::memory_order_relaxed);
       if (place_at_rank(rank, value, gaps_this_call)) return;
     }
@@ -130,6 +132,7 @@ class mpmc_queue {
     while (remaining > 0) {
       T item = *first;  // place_at_rank consumes it only on success
       for (;;) {
+        FFQ_CHECK_YIELD();  // scheduling point: before each rank attempt
         if (next == block_end) {
           next = tail_->fetch_add(static_cast<std::int64_t>(remaining),
                                   std::memory_order_relaxed);
@@ -149,6 +152,7 @@ class mpmc_queue {
   /// writing" and is awaited.
   bool dequeue(T& out) noexcept {
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the rank claim
       const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
       switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
         case rank_state::taken:
@@ -168,9 +172,11 @@ class mpmc_queue {
   /// the same one dequeue() performs.
   bool try_dequeue(T& out) noexcept {
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the emptiness check
       const std::int64_t t = tail_->load(std::memory_order_acquire);
       const std::int64_t h = head_->load(std::memory_order_relaxed);
       if (t <= h) return false;
+      FFQ_CHECK_YIELD();  // window: a racing consumer may move head here
       const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
       switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
         case rank_state::taken:
@@ -191,6 +197,7 @@ class mpmc_queue {
   std::size_t dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
     if (max_n == 0) return 0;
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the run claim
       const std::int64_t t = tail_->load(std::memory_order_acquire);
       const std::int64_t h = head_->load(std::memory_order_relaxed);
       const std::int64_t avail = t - h;
@@ -198,6 +205,7 @@ class mpmc_queue {
           avail > 1 ? std::min<std::int64_t>(
                           static_cast<std::int64_t>(max_n), avail)
                     : 1;
+      FFQ_CHECK_YIELD();  // window: head may be stale by claim time
       const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
       if (k > 1) tel_.on_rank_block_faa();
       std::size_t taken = 0;
@@ -293,6 +301,7 @@ class mpmc_queue {
       stalls = pauses = retries = 0;
     };
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one placement round
       const std::int64_t g = c.rg.second.load(std::memory_order_acquire);
       if (g >= rank) {
         // Our rank is already "in the past" at this cell (another
@@ -348,7 +357,13 @@ class mpmc_queue {
         typename ffq::runtime::atomic_i64_pair::value_type expected{
             detail::kCellFree, g};
         if (c.rg.compare_exchange(expected, {detail::kCellReserved, g})) {
+          // The -2 reservation is now visible; the window before the
+          // publish below is Algorithm 2's non-wait-free wait (and the
+          // watchdog's stuck_producer state), so the checker gets a
+          // scheduling point inside it.
+          FFQ_CHECK_YIELD();
           std::construct_at(c.ptr(), std::move(value));
+          FFQ_CHECK_YIELD();  // window between the data write and publication
           c.rg.first.store(rank, std::memory_order_release);  // publish
           flush_waits();
           trc_.on_enqueue(t0, rank);
@@ -377,6 +392,7 @@ class mpmc_queue {
     ffq::runtime::yielding_backoff backoff;
     std::uint64_t pauses = 0;  // flushed once per episode, not per pause
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one resolve round
       if (c.rg.first.load(std::memory_order_acquire) == rank) {
         sink(std::move(*c.ptr()));
         std::destroy_at(c.ptr());
@@ -385,12 +401,17 @@ class mpmc_queue {
         trc_.on_dequeue(t0, rank);
         return rank_state::taken;
       }
-      if (c.rg.second.load(std::memory_order_acquire) >= rank &&
-          c.rg.first.load(std::memory_order_acquire) != rank) {
-        tel_.on_consumer_skip();
-        trc_.on_skip(rank);
-        tel_.on_backoff_pauses(pauses);
-        return rank_state::skipped;
+      // Distinct gap load and rank re-check, with a scheduling point in
+      // the line-29 window between them (see spmc_queue::resolve_rank).
+      if (c.rg.second.load(std::memory_order_acquire) >= rank) {
+        FFQ_CHECK_YIELD();  // line-29 window
+        if (c.rg.first.load(std::memory_order_acquire) != rank) {
+          tel_.on_consumer_skip();
+          trc_.on_skip(rank);
+          tel_.on_backoff_pauses(pauses);
+          return rank_state::skipped;
+        }
+        continue;  // re-check found our rank after all: take it next round
       }
       const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);
       if (closed >= 0 && rank >= closed) {

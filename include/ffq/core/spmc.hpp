@@ -45,6 +45,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "ffq/check/yield.hpp"
 #include "ffq/core/layout.hpp"
 #include "ffq/runtime/aligned_buffer.hpp"
 #include "ffq/runtime/backoff.hpp"
@@ -136,6 +137,7 @@ class spmc_queue {
     bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one cell-protocol round
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
@@ -171,6 +173,7 @@ class spmc_queue {
         continue;
       }
       std::construct_at(c.ptr(), std::move(value));
+      FFQ_CHECK_YIELD();  // window between the data write and publication
       c.rank.store(t, std::memory_order_release);  // linearization point
       ++t;
       break;
@@ -197,6 +200,7 @@ class spmc_queue {
     bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (std::size_t i = 0; i < n;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one cell-protocol round
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
@@ -220,6 +224,7 @@ class spmc_queue {
         continue;
       }
       std::construct_at(c.ptr(), std::move(*first));
+      FFQ_CHECK_YIELD();  // window between the data write and publication
       c.rank.store(t, std::memory_order_release);
       trc_.on_enqueue(it0, t);
       it0 = trc_.now();
@@ -238,6 +243,7 @@ class spmc_queue {
   /// close() once this consumer's rank is past the final tail.
   bool dequeue(T& out) noexcept {
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the rank claim
       const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
       switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
         case rank_state::taken:
@@ -259,9 +265,11 @@ class spmc_queue {
   /// common path never waits).
   bool try_dequeue(T& out) noexcept {
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the emptiness check
       const std::int64_t t = tail_->load(std::memory_order_acquire);
       const std::int64_t h = head_->load(std::memory_order_relaxed);
       if (t <= h) return false;  // nothing published: do not claim a rank
+      FFQ_CHECK_YIELD();  // window: a racing consumer may move head here
       const std::int64_t rank = head_->fetch_add(1, std::memory_order_relaxed);
       switch (resolve_rank(rank, [&](T&& v) { out = std::move(v); })) {
         case rank_state::taken:
@@ -287,6 +295,7 @@ class spmc_queue {
   std::size_t dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
     if (max_n == 0) return 0;
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the run claim
       const std::int64_t t = tail_->load(std::memory_order_acquire);
       const std::int64_t h = head_->load(std::memory_order_relaxed);
       const std::int64_t avail = t - h;
@@ -294,6 +303,7 @@ class spmc_queue {
           avail > 1 ? std::min<std::int64_t>(
                           static_cast<std::int64_t>(max_n), avail)
                     : 1;  // claim one rank to preserve blocking semantics
+      FFQ_CHECK_YIELD();  // window: head may be stale by claim time
       const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
       if (k > 1) tel_.on_rank_block_faa();
       std::size_t taken = 0;
@@ -392,6 +402,7 @@ class spmc_queue {
     ffq::runtime::yielding_backoff backoff;
     std::uint64_t pauses = 0;  // flushed once per episode, not per pause
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one resolve round
       if (c.rank.load(std::memory_order_acquire) == rank) {
         // Exactly one consumer can observe its own rank here (ranks are
         // unique), so the cell is ours to read and recycle.
@@ -405,13 +416,18 @@ class spmc_queue {
       // Skipped? gap must be read before the rank re-check: the
       // producer may have *filled* the cell for our rank after our
       // first look and then announced a gap for a later rank on a
-      // subsequent traversal (paper's line-29 discussion).
-      if (c.gap.load(std::memory_order_acquire) >= rank &&
-          c.rank.load(std::memory_order_acquire) != rank) {
-        tel_.on_consumer_skip();
-        trc_.on_skip(rank);
-        tel_.on_backoff_pauses(pauses);
-        return rank_state::skipped;
+      // subsequent traversal (paper's line-29 discussion). The two loads
+      // are distinct atomic accesses, so the checker gets a scheduling
+      // point between them — the exact window the argument is about.
+      if (c.gap.load(std::memory_order_acquire) >= rank) {
+        FFQ_CHECK_YIELD();  // line-29 window
+        if (c.rank.load(std::memory_order_acquire) != rank) {
+          tel_.on_consumer_skip();
+          trc_.on_skip(rank);
+          tel_.on_backoff_pauses(pauses);
+          return rank_state::skipped;
+        }
+        continue;  // re-check found our rank after all: take it next round
       }
       // Producer still writing (or queue empty): back off briefly.
       const std::int64_t closed = closed_tail_.load(std::memory_order_acquire);

@@ -20,6 +20,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "ffq/check/yield.hpp"
 #include "ffq/core/layout.hpp"
 #include "ffq/core/spmc.hpp"
 #include "ffq/runtime/aligned_buffer.hpp"
@@ -75,6 +76,7 @@ class spsc_queue {
     bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one cell-protocol round
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
@@ -101,6 +103,7 @@ class spsc_queue {
         continue;
       }
       std::construct_at(c.ptr(), std::move(value));
+      FFQ_CHECK_YIELD();  // window between the data write and publication
       c.rank.store(t, std::memory_order_release);
       ++t;
       break;
@@ -125,6 +128,7 @@ class spsc_queue {
     bool stall_traced = false;
     ffq::runtime::yielding_backoff full_backoff;
     for (std::size_t i = 0; i < n;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one cell-protocol round
       auto& c = cells_[cap_.template slot<Layout>(t)];
       if (c.rank.load(std::memory_order_acquire) >= 0) {
         if (consecutive_skips >= cap_.size()) {
@@ -148,6 +152,7 @@ class spsc_queue {
         continue;
       }
       std::construct_at(c.ptr(), std::move(*first));
+      FFQ_CHECK_YIELD();  // window between the data write and publication
       c.rank.store(t, std::memory_order_release);
       trc_.on_enqueue(it0, t);
       it0 = trc_.now();
@@ -168,6 +173,7 @@ class spsc_queue {
     const std::uint64_t t0 = trc_.now();
     std::int64_t h = (*head_);
     for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: one cell-protocol round
       auto& c = cells_[cap_.template slot<Layout>(h)];
       if (c.rank.load(std::memory_order_acquire) == h) {
         out = std::move(*c.ptr());
@@ -177,12 +183,18 @@ class spsc_queue {
         trc_.on_dequeue(t0, h);
         return true;
       }
-      if (c.gap.load(std::memory_order_acquire) >= h &&
-          c.rank.load(std::memory_order_acquire) != h) {
-        tel_.on_consumer_skip();
-        trc_.on_skip(h);
-        ++h;  // our rank was skipped; advance past the gap
-        continue;
+      // The gap load and the rank re-check are distinct atomic accesses;
+      // the paper's line-29 argument is exactly about what may happen
+      // between them, so the checker gets a scheduling point there.
+      if (c.gap.load(std::memory_order_acquire) >= h) {
+        FFQ_CHECK_YIELD();  // line-29 window: producer may publish h here
+        if (c.rank.load(std::memory_order_acquire) != h) {
+          tel_.on_consumer_skip();
+          trc_.on_skip(h);
+          ++h;  // our rank was skipped; advance past the gap
+          continue;
+        }
+        continue;  // re-check found our rank after all: take it next round
       }
       (*head_) = h;  // remember progress past consumed gaps
       return false;
@@ -222,6 +234,7 @@ class spsc_queue {
     std::int64_t h = (*head_);
     std::size_t taken = 0;
     while (taken < max_n) {
+      FFQ_CHECK_YIELD();  // scheduling point: one cell-protocol round
       auto& c = cells_[cap_.template slot<Layout>(h)];
       if (c.rank.load(std::memory_order_acquire) == h) {
         *out = std::move(*c.ptr());
@@ -234,11 +247,13 @@ class spsc_queue {
         ++taken;
         continue;
       }
-      if (c.gap.load(std::memory_order_acquire) >= h &&
-          c.rank.load(std::memory_order_acquire) != h) {
-        tel_.on_consumer_skip();
-        trc_.on_skip(h);
-        ++h;  // gap rank: advance past it within the same scan
+      if (c.gap.load(std::memory_order_acquire) >= h) {
+        FFQ_CHECK_YIELD();  // line-29 window (see try_dequeue)
+        if (c.rank.load(std::memory_order_acquire) != h) {
+          tel_.on_consumer_skip();
+          trc_.on_skip(h);
+          ++h;  // gap rank: advance past it within the same scan
+        }
         continue;
       }
       break;  // next rank not published yet

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "ffq/check/yield.hpp"
 #include "ffq/core/spsc.hpp"
 #include "ffq/runtime/backoff.hpp"
 #include "ffq/runtime/eventcount.hpp"
@@ -44,6 +45,7 @@ class waitable_spsc_queue {
   /// Producer only. Wait-free (plus one relaxed load for the wake check).
   void enqueue(T value) noexcept {
     q_.enqueue(std::move(value));
+    FFQ_CHECK_YIELD();  // window between publication and the wake signal
     count_wake();
     ec_.notify_one();
   }
@@ -53,6 +55,7 @@ class waitable_spsc_queue {
   template <typename It>
   void enqueue_bulk(It first, std::size_t n) noexcept {
     q_.enqueue_bulk(first, n);
+    FFQ_CHECK_YIELD();  // window between publication and the wake signal
     count_wake();
     ec_.notify_one();
   }
@@ -123,6 +126,7 @@ class waitable_spsc_queue {
   /// Producer side: end the stream and wake any parked consumer.
   void close() noexcept {
     q_.close();
+    FFQ_CHECK_YIELD();  // window between the closed flag and the wake
     count_wake();
     ec_.notify_all();
   }

@@ -60,6 +60,7 @@ class alg1_producer : public thread_m {
       case pc::announce_gap: {
         cell_m& c = w.cells_[w.slot(w.tail_)];
         c.gap = w.tail_;  // one store (+ private tail bump)
+        w.record_gap(w.tail_);
         w.tail_ += 1;
         ++consec_gaps_;
         pc_ = pc::load_rank;
@@ -69,6 +70,7 @@ class alg1_producer : public thread_m {
         if (mut_ == producer_mutation::publish_before_data) {
           // MUTATION: publish first (wrong), write data after.
           w.cells_[w.slot(w.tail_)].rank = w.tail_;
+          w.record_publish(w.tail_);
           pc_ = pc::store_data_late;
         } else {
           w.cells_[w.slot(w.tail_)].data = next_;  // one store
@@ -84,6 +86,7 @@ class alg1_producer : public thread_m {
       }
       case pc::publish: {
         w.cells_[w.slot(w.tail_)].rank = w.tail_;  // linearization store
+        w.record_publish(w.tail_);
         w.tail_ += 1;
         advance_item();
         break;
@@ -151,6 +154,7 @@ class alg1_consumer : public thread_m {
       case pc::release_cell: {
         w.cells_[w.slot(rank_)].rank = -1;  // linearization store
         w.record_consume(val_);
+        w.record_taken_rank(rank_);
         // Per-producer FIFO monitor: a consumer's successive values from
         // one producer must increase (ranks are drawn in order).
         const int p = w.producer_of(val_);
@@ -172,9 +176,12 @@ class alg1_consumer : public thread_m {
       case pc::check_gap: {
         const int g = w.cells_[w.slot(rank_)].gap;  // one load
         if (g >= rank_) {
-          pc_ = mut_ == consumer_mutation::skip_line29_recheck
-                    ? pc::faa_head  // MUTATION: no rank re-check
-                    : pc::recheck_rank;
+          if (mut_ == consumer_mutation::skip_line29_recheck) {
+            w.record_skip(rank_);  // MUTATION: no rank re-check
+            pc_ = pc::faa_head;
+          } else {
+            pc_ = pc::recheck_rank;
+          }
         } else {
           pc_ = pc::check_rank;  // back off and re-examine (spin)
         }
@@ -183,7 +190,12 @@ class alg1_consumer : public thread_m {
       case pc::recheck_rank: {
         const int r = w.cells_[w.slot(rank_)].rank;  // one load
         // gap >= rank AND rank != rank  => the rank was truly skipped.
-        pc_ = r != rank_ ? pc::faa_head : pc::check_rank;
+        if (r != rank_) {
+          w.record_skip(rank_);
+          pc_ = pc::faa_head;
+        } else {
+          pc_ = pc::check_rank;
+        }
         break;
       }
       case pc::finished:
@@ -258,6 +270,7 @@ class alg1_bulk_producer : public thread_m {
       }
       case pc::announce_gap: {
         w.cells_[w.slot(pt_)].gap = pt_;  // one store (+ private tail bump)
+        w.record_gap(pt_);
         pt_ += 1;
         ++consec_gaps_;
         pc_ = pc::load_rank;
@@ -266,6 +279,7 @@ class alg1_bulk_producer : public thread_m {
       case pc::store_data: {
         if (mut_ == producer_mutation::publish_before_data) {
           w.cells_[w.slot(pt_)].rank = pt_;  // MUTATION: publish first
+          w.record_publish(pt_);
           pc_ = pc::store_data_late;
         } else {
           w.cells_[w.slot(pt_)].data = next_;  // one store
@@ -281,6 +295,7 @@ class alg1_bulk_producer : public thread_m {
       }
       case pc::publish: {
         w.cells_[w.slot(pt_)].rank = pt_;  // per-cell publication store
+        w.record_publish(pt_);
         pt_ += 1;
         advance_item();
         break;
@@ -397,6 +412,7 @@ class alg1_bulk_consumer : public thread_m {
       case pc::release_cell: {
         w.cells_[w.slot(rank_)].rank = -1;  // linearization store
         w.record_consume(val_);
+        w.record_taken_rank(rank_);
         const int p = w.producer_of(val_);
         if (p >= 0) {
           if (static_cast<std::size_t>(p) >= last_from_.size()) {
@@ -417,7 +433,8 @@ class alg1_bulk_consumer : public thread_m {
         const int g = w.cells_[w.slot(rank_)].gap;  // one load
         if (g >= rank_) {
           if (mut_ == consumer_mutation::skip_line29_recheck) {
-            advance_rank();  // MUTATION: drop the rank without re-check
+            w.record_skip(rank_);  // MUTATION: drop the rank without re-check
+            advance_rank();
           } else {
             pc_ = pc::recheck_rank;
           }
@@ -429,6 +446,7 @@ class alg1_bulk_consumer : public thread_m {
       case pc::recheck_rank: {
         const int r = w.cells_[w.slot(rank_)].rank;  // one load
         if (r != rank_) {
+          w.record_skip(rank_);
           advance_rank();  // truly skipped: drop in place, stay in run
         } else {
           pc_ = pc::check_rank;

@@ -95,6 +95,7 @@ class alg2_producer : public thread_m {
             mut_ == alg2_mutation::gap_ignores_rank || c.rank == r_;
         if (rank_ok && c.gap == g_) {  // one DWCAS
           c.gap = rank_;
+          w.record_gap(rank_);
           ++gaps_this_call_;
           pc_ = pc::faa_tail;  // gap announced; acquire a fresh rank
         } else {
@@ -109,6 +110,7 @@ class alg2_producer : public thread_m {
         if (c.rank == -1 && gap_ok) {  // one DWCAS
           if (mut_ == alg2_mutation::claim_publishes_directly) {
             c.rank = rank_;  // MUTATION: publish before the data exists
+            w.record_publish(rank_);
             pc_ = pc::store_data_late;
           } else {
             c.rank = -2;  // reserve
@@ -131,6 +133,7 @@ class alg2_producer : public thread_m {
       }
       case pc::publish: {
         w.cells_[w.slot(rank_)].rank = rank_;  // linearization store
+        w.record_publish(rank_);
         advance_item();
         break;
       }

@@ -66,7 +66,11 @@ class world {
         tail_(o.tail_),
         producer_ranges_(o.producer_ranges_),
         consumed_count_(o.consumed_count_),
-        violation_(o.violation_) {
+        violation_(o.violation_),
+        gaps_announced_(o.gaps_announced_),
+        published_ranks_(o.published_ranks_),
+        taken_ranks_(o.taken_ranks_),
+        skipped_ranks_(o.skipped_ranks_) {
     threads_.reserve(o.threads_.size());
     for (const auto& t : o.threads_) threads_.push_back(t->clone());
   }
@@ -127,6 +131,85 @@ class world {
 
   std::vector<int> consumed_count_;
   std::string violation_;  ///< empty = no safety violation so far
+
+  // --- gap-accounting monitor ---------------------------------------------
+  // Execution-history logs (like consumed_count_, not encoded): every gap
+  // the producer side announced, every rank a consumer took, every rank a
+  // consumer skipped. check_gap_accounting() validates the protocol's
+  // bookkeeping at a terminal state: a consumer may abandon a rank only
+  // if a gap covering it was announced at that rank's cell, and a rank
+  // that was announced as a gap can never also deliver an item.
+  std::vector<int> gaps_announced_;
+  std::vector<int> published_ranks_;
+  std::vector<int> taken_ranks_;
+  std::vector<int> skipped_ranks_;
+
+  void record_gap(int rank) { gaps_announced_.push_back(rank); }
+
+  /// A producer published an item at `rank`. Publishing at a rank some
+  /// consumer has already abandoned is the paper's "enqueue in the past"
+  /// — the item can never be delivered; flag it immediately.
+  void record_publish(int rank) {
+    published_ranks_.push_back(rank);
+    if (violation_.empty()) {
+      for (int s : skipped_ranks_) {
+        if (s == rank) {
+          violation_ = "gap-accounting: item published at rank " +
+                       std::to_string(rank) +
+                       " after a consumer already skipped it (enqueue in "
+                       "the past)";
+          return;
+        }
+      }
+    }
+  }
+
+  void record_taken_rank(int rank) { taken_ranks_.push_back(rank); }
+
+  /// A consumer abandoned `rank`. Every rank has a unique fate (each tail
+  /// value becomes either a gap or a publication, never both, and a
+  /// published rank is owned by exactly one consumer), so skipping a rank
+  /// that holds a published item is an immediate loss — flagged here as a
+  /// safety violation so the explorer gets a witness schedule.
+  void record_skip(int rank) {
+    skipped_ranks_.push_back(rank);
+    if (violation_.empty()) {
+      for (int p : published_ranks_) {
+        if (p == rank) {
+          violation_ = "gap-accounting: rank " + std::to_string(rank) +
+                       " skipped by a consumer but holds a published item";
+          return;
+        }
+      }
+    }
+  }
+
+  /// Empty string = accounting consistent; otherwise a description of the
+  /// first inconsistency. Meaningful at any point, exact at terminals.
+  std::string check_gap_accounting() const {
+    for (int s : skipped_ranks_) {
+      bool covered = false;
+      for (int g : gaps_announced_) {
+        if (slot(g) == slot(s) && g >= s) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return "gap-accounting: rank " + std::to_string(s) +
+               " skipped by a consumer but no announced gap covers it";
+      }
+    }
+    for (int t : taken_ranks_) {
+      for (int g : gaps_announced_) {
+        if (g == t) {
+          return "gap-accounting: rank " + std::to_string(t) +
+                 " both announced as a gap and consumed";
+        }
+      }
+    }
+    return {};
+  }
 
   /// Canonical encoding of the full state (shared memory + every
   /// thread's local state) for the visited set.

@@ -96,6 +96,11 @@ class watchdog {
     /// After a trigger, stay quiet about the same stall until it clears
     /// (head moves) — one dump per incident, not one per interval.
     bool once_per_incident = true;
+    /// Time source for every stall decision. Tests inject a controllable
+    /// clock and drive sample_once() by hand, turning the verdict tests
+    /// into deterministic state-machine checks (no sleeps, no sampler
+    /// thread). Defaults to std::chrono::steady_clock::now.
+    std::function<std::chrono::steady_clock::time_point()> clock;
   };
 
   watchdog();  // default config
@@ -111,6 +116,13 @@ class watchdog {
 
   void start();
   void stop();
+
+  /// One sampling pass, exactly what the sampler thread does per tick:
+  /// read the clock, refresh ring progress, and (re)classify every probe,
+  /// triggering the sink on a stall. Usable without start() — add_probe()
+  /// arms each probe's baseline at registration time — so a test with an
+  /// injected clock fully controls when time passes.
+  void sample_once();
 
   /// Produce a dump of the current state on demand (works whether or
   /// not the sampling thread runs). Returns the dump text.
@@ -137,6 +149,7 @@ class watchdog {
   };
 
   void sampler_loop();
+  void sample_locked(std::unique_lock<std::mutex>& lock);
   void update_ring_progress(std::chrono::steady_clock::time_point now);
   verdict classify(const queue_probe& p) const;
   std::string render_dump(verdict v, std::size_t probe_idx) const;

@@ -1,0 +1,185 @@
+#include "ffq/check/explore.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ffq/runtime/rng.hpp"
+
+namespace ffq::check {
+
+namespace {
+
+using ffq::model::world;
+
+/// Terminal-state oracles: exactly-once delivery + gap accounting.
+std::string terminal_violation(const world& w, bool require_all_consumed) {
+  if (require_all_consumed) {
+    for (std::size_t v = 1; v < w.consumed_count_.size(); ++v) {
+      if (w.consumed_count_[v] != 1) {
+        return "terminal: value " + std::to_string(v) + " consumed " +
+               std::to_string(w.consumed_count_[v]) + " times (expected 1)";
+      }
+    }
+  }
+  return w.check_gap_accounting();
+}
+
+struct dfs_ctx {
+  const dfs_options* opt = nullptr;
+  explore_result* res = nullptr;
+  // encoding+last_tid -> best remaining budget already explored. A state
+  // is re-entered only with strictly more budget (budget dominance).
+  std::unordered_map<std::string, int> memo;
+  std::vector<int> path;
+};
+
+/// Returns true when a violation was found (res filled, search stops).
+bool dfs(const world& w, int last_tid, int budget, dfs_ctx& ctx) {
+  if (!w.violation_.empty()) {
+    ctx.res->ok = false;
+    ctx.res->violation = "safety: " + w.violation_;
+    ctx.res->witness.picks = ctx.path;
+    return true;
+  }
+  if (w.all_done()) {
+    ++ctx.res->terminals;
+    const std::string t = terminal_violation(w, ctx.opt->require_all_consumed);
+    if (!t.empty()) {
+      ctx.res->ok = false;
+      ctx.res->violation = "safety: " + t;
+      ctx.res->witness.picks = ctx.path;
+      return true;
+    }
+    return false;
+  }
+
+  std::string key = w.encode();
+  key.push_back(static_cast<char>(last_tid + 1));
+  auto [it, inserted] = ctx.memo.try_emplace(std::move(key), budget);
+  if (!inserted) {
+    if (it->second >= budget) return false;  // dominated: prune
+    it->second = budget;
+  } else {
+    ++ctx.res->states;
+    if (ctx.res->states >= ctx.opt->max_states) {
+      ctx.res->exhausted = false;
+      return false;
+    }
+  }
+
+  const bool last_runnable = last_tid >= 0 &&
+                             !w.threads_[static_cast<std::size_t>(last_tid)]->done();
+  const int n = static_cast<int>(w.threads_.size());
+  // Continuation first (free), then preempting switches (cost 1 each
+  // while the last thread still runs).
+  for (int off = 0; off < n; ++off) {
+    const int tid = last_tid >= 0 ? (last_tid + off) % n : off;
+    if (w.threads_[static_cast<std::size_t>(tid)]->done()) continue;
+    const int cost = (last_runnable && tid != last_tid) ? 1 : 0;
+    if (cost > budget) continue;
+    world next(w);
+    next.threads_[static_cast<std::size_t>(tid)]->step(next);
+    ctx.path.push_back(tid);
+    if (dfs(next, tid, budget - cost, ctx)) return true;
+    ctx.path.pop_back();
+    if (!ctx.res->exhausted) return false;  // state budget gone: wind down
+  }
+  return false;
+}
+
+}  // namespace
+
+explore_result dfs_explore(const world& initial, const dfs_options& opt) {
+  explore_result res;
+  dfs_ctx ctx;
+  ctx.opt = &opt;
+  ctx.res = &res;
+  dfs(initial, -1, opt.preemption_bound, ctx);
+  return res;
+}
+
+explore_result replay_model(const world& initial, const schedule& s,
+                            bool require_all_consumed) {
+  explore_result res;
+  res.witness = s;
+  world w(initial);
+  for (std::size_t i = 0; i < s.picks.size(); ++i) {
+    const int tid = s.picks[i];
+    if (tid < 0 || static_cast<std::size_t>(tid) >= w.threads_.size() ||
+        w.threads_[static_cast<std::size_t>(tid)]->done()) {
+      res.ok = false;
+      res.violation = "replay: pick " + std::to_string(i) + " names thread " +
+                      std::to_string(tid) + ", which is invalid or finished";
+      return res;
+    }
+    w.threads_[static_cast<std::size_t>(tid)]->step(w);
+    res.states += 1;
+    if (!w.violation_.empty()) {
+      res.ok = false;
+      res.violation = "safety: " + w.violation_;
+      res.witness.picks.resize(i + 1);
+      return res;
+    }
+  }
+  if (!w.all_done()) {
+    res.ok = false;
+    res.violation = "replay: schedule ended before all threads finished";
+    return res;
+  }
+  ++res.terminals;
+  const std::string t = terminal_violation(w, require_all_consumed);
+  if (!t.empty()) {
+    res.ok = false;
+    res.violation = "safety: " + t;
+  }
+  return res;
+}
+
+explore_result fuzz_model(const world& initial, std::uint64_t seed,
+                          std::uint64_t schedules, std::uint64_t max_steps,
+                          bool require_all_consumed) {
+  explore_result res;
+  ffq::runtime::splitmix64 seeder(seed);
+  for (std::uint64_t run = 0; run < schedules; ++run) {
+    ffq::runtime::xoshiro256ss rng(seeder.next());
+    world w(initial);
+    schedule sched;
+    std::uint64_t steps = 0;
+    while (!w.all_done()) {
+      if (++steps > max_steps) {
+        res.ok = false;
+        res.violation = "liveness: step bound " + std::to_string(max_steps) +
+                        " exceeded (livelock or starvation)";
+        res.witness = std::move(sched);
+        return res;
+      }
+      std::vector<int> runnable;
+      for (std::size_t i = 0; i < w.threads_.size(); ++i) {
+        if (!w.threads_[i]->done()) runnable.push_back(static_cast<int>(i));
+      }
+      const int tid = runnable[rng.bounded(runnable.size())];
+      sched.picks.push_back(tid);
+      w.threads_[static_cast<std::size_t>(tid)]->step(w);
+      res.states += 1;
+      if (!w.violation_.empty()) {
+        res.ok = false;
+        res.violation = "safety: " + w.violation_;
+        res.witness = std::move(sched);
+        return res;
+      }
+    }
+    ++res.terminals;
+    const std::string t = terminal_violation(w, require_all_consumed);
+    if (!t.empty()) {
+      res.ok = false;
+      res.violation = "safety: " + t;
+      res.witness = std::move(sched);
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace ffq::check

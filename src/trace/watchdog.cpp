@@ -52,6 +52,9 @@ watchdog::watchdog(config cfg) : cfg_(std::move(cfg)) {
       std::fputs(dump.c_str(), stderr);
     };
   }
+  if (!cfg_.clock) {
+    cfg_.clock = [] { return std::chrono::steady_clock::now(); };
+  }
 }
 
 watchdog::~watchdog() { stop(); }
@@ -59,7 +62,11 @@ watchdog::~watchdog() { stop(); }
 void watchdog::add_probe(queue_probe probe) {
   std::lock_guard<std::mutex> lock(mu_);
   probes_.push_back(std::move(probe));
-  states_.emplace_back();
+  // Arm the baseline now so sample_once() works without start().
+  probe_state st;
+  st.last_head = probes_.back().head();
+  st.last_progress_at = cfg_.clock();
+  states_.push_back(st);
 }
 
 void watchdog::start() {
@@ -68,7 +75,7 @@ void watchdog::start() {
   running_ = true;
   last_verdict_ = verdict::ok;
   triggers_ = 0;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = cfg_.clock();
   for (std::size_t i = 0; i < probes_.size(); ++i) {
     states_[i].last_head = probes_[i].head();
     states_[i].last_progress_at = now;
@@ -100,7 +107,7 @@ std::uint64_t watchdog::triggers() const {
 
 std::string watchdog::dump_now() {
   std::unique_lock<std::mutex> lock(mu_);
-  update_ring_progress(std::chrono::steady_clock::now());
+  update_ring_progress(cfg_.clock());
   std::string out;
   if (probes_.empty()) {
     out = render_dump(verdict::ok, static_cast<std::size_t>(-1));
@@ -117,36 +124,45 @@ void watchdog::sampler_loop() {
   while (running_) {
     cv_.wait_for(lock, cfg_.sample_interval, [this] { return !running_; });
     if (!running_) break;
-    const auto now = std::chrono::steady_clock::now();
-    update_ring_progress(now);
-    for (std::size_t i = 0; i < probes_.size(); ++i) {
-      const queue_probe& p = probes_[i];
-      probe_state& st = states_[i];
-      const std::int64_t head = p.head();
-      const std::int64_t tail = p.tail();
-      if (head != st.last_head) {  // consumers moved: incident (if any) over
-        st.last_head = head;
-        st.last_progress_at = now;
-        st.reported = false;
-        continue;
-      }
-      if (tail <= head) {  // idle, not stalled
-        st.last_progress_at = now;
-        st.reported = false;
-        continue;
-      }
-      if (now - st.last_progress_at < cfg_.stall_threshold) continue;
-      if (cfg_.once_per_incident && st.reported) continue;
-      st.reported = true;
-      const verdict v = classify(p);
-      if (severity(v) > severity(last_verdict_)) last_verdict_ = v;
-      ++triggers_;
-      const std::string dump = render_dump(v, i);
-      auto sink = cfg_.sink;  // copy: cfg_ is stable but the sink may block
-      lock.unlock();
-      sink(v, dump);
-      lock.lock();
+    sample_locked(lock);
+  }
+}
+
+void watchdog::sample_once() {
+  std::unique_lock<std::mutex> lock(mu_);
+  sample_locked(lock);
+}
+
+void watchdog::sample_locked(std::unique_lock<std::mutex>& lock) {
+  const auto now = cfg_.clock();
+  update_ring_progress(now);
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    const queue_probe& p = probes_[i];
+    probe_state& st = states_[i];
+    const std::int64_t head = p.head();
+    const std::int64_t tail = p.tail();
+    if (head != st.last_head) {  // consumers moved: incident (if any) over
+      st.last_head = head;
+      st.last_progress_at = now;
+      st.reported = false;
+      continue;
     }
+    if (tail <= head) {  // idle, not stalled
+      st.last_progress_at = now;
+      st.reported = false;
+      continue;
+    }
+    if (now - st.last_progress_at < cfg_.stall_threshold) continue;
+    if (cfg_.once_per_incident && st.reported) continue;
+    st.reported = true;
+    const verdict v = classify(p);
+    if (severity(v) > severity(last_verdict_)) last_verdict_ = v;
+    ++triggers_;
+    const std::string dump = render_dump(v, i);
+    auto sink = cfg_.sink;  // copy: cfg_ is stable but the sink may block
+    lock.unlock();
+    sink(v, dump);
+    lock.lock();
   }
 }
 
@@ -181,7 +197,7 @@ verdict watchdog::classify(const queue_probe& p) const {
 }
 
 std::string watchdog::render_dump(verdict v, std::size_t probe_idx) const {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = cfg_.clock();
   std::ostringstream os;
   os << "=== ffq watchdog: " << to_string(v) << " ===\n";
 

@@ -1,0 +1,402 @@
+// Tests for ffq::check — the cooperative scheduler (determinism, yield
+// hooks), the schedule codec, the three oracles (conservation,
+// per-producer FIFO, Wing–Gong linearizability), preemption-bounded DFS
+// over the model machines (clean passes and mutation catches with
+// replayable witnesses), and seeded fuzzing of the real queues under the
+// FFQ_CHECK_YIELD() instrumentation.
+//
+// FFQ_CHECK is defined before any include so the queues in this TU carry
+// live yield points in every preset, not just `check`. The mirror-struct
+// static_asserts below prove the instrumentation is layout-neutral: the
+// instrumented queues still match the member-sequence mirrors that
+// test_trace.cpp pins for the uninstrumented build.
+#ifndef FFQ_CHECK
+#define FFQ_CHECK 1
+#endif
+
+#include "ffq/check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ffq/core/mpmc.hpp"
+#include "ffq/core/spmc.hpp"
+#include "ffq/core/spsc.hpp"
+#include "ffq/core/waitable.hpp"
+#include "ffq/model/ffq_alg1.hpp"
+#include "ffq/model/ffq_alg2.hpp"
+
+namespace chk = ffq::check;
+namespace model = ffq::model;
+
+namespace {
+
+// Policies pinned to disabled so the mirror asserts below hold in every
+// preset (the telemetry/trace presets flip the *defaults*, which would
+// legitimately grow the queues — that is their own suites' concern).
+using ffq::core::layout_aligned;
+using tel_off = ffq::telemetry::disabled;
+using trc_off = ffq::trace::disabled;
+using q_spsc = ffq::core::spsc_queue<long long, layout_aligned, tel_off, trc_off>;
+using q_spmc = ffq::core::spmc_queue<long long, layout_aligned, tel_off, trc_off>;
+using q_mpmc = ffq::core::mpmc_queue<long long, layout_aligned, tel_off, trc_off>;
+using q_wait =
+    ffq::core::waitable_spsc_queue<long long, layout_aligned, tel_off, trc_off>;
+
+// ---------------------------------------------------------------------------
+// Layout neutrality: FFQ_CHECK=1 in this TU, yet the queues still match
+// the uninstrumented member-sequence mirrors — FFQ_CHECK_YIELD() adds
+// code, never data.
+// ---------------------------------------------------------------------------
+
+using spmc_cell = ffq::core::detail::spmc_cell<long long, true>;
+using mpmc_cell = ffq::core::detail::mpmc_cell<long long, true>;
+
+struct spsc_mirror {
+  ffq::core::capacity_info cap_;
+  ffq::runtime::aligned_array<spmc_cell> cells_;
+  ffq::runtime::padded<std::atomic<std::int64_t>> tail_;
+  ffq::runtime::padded<std::int64_t> head_;
+  std::atomic<std::int64_t> closed_tail_;
+  std::uint64_t gaps_created_;
+};
+
+struct spmc_mirror {
+  ffq::core::capacity_info cap_;
+  ffq::runtime::aligned_array<spmc_cell> cells_;
+  ffq::runtime::padded<std::atomic<std::int64_t>> tail_;
+  ffq::runtime::padded<std::atomic<std::int64_t>> head_;
+  std::atomic<std::int64_t> closed_tail_;
+  std::uint64_t gaps_created_;
+  std::atomic<std::uint64_t> skips_;
+};
+
+struct mpmc_mirror {
+  ffq::core::capacity_info cap_;
+  ffq::runtime::aligned_array<mpmc_cell> cells_;
+  ffq::runtime::padded<std::atomic<std::int64_t>> tail_;
+  ffq::runtime::padded<std::atomic<std::int64_t>> head_;
+  std::atomic<std::int64_t> closed_tail_;
+  std::atomic<std::uint64_t> gaps_;
+  std::atomic<std::uint64_t> skips_;
+};
+
+struct waitable_mirror {
+  q_spsc q_;
+  ffq::runtime::eventcount ec_;
+};
+
+static_assert(sizeof(q_spsc) == sizeof(spsc_mirror),
+              "FFQ_CHECK yield points must not grow spsc_queue");
+static_assert(sizeof(q_spmc) == sizeof(spmc_mirror),
+              "FFQ_CHECK yield points must not grow spmc_queue");
+static_assert(sizeof(q_mpmc) == sizeof(mpmc_mirror),
+              "FFQ_CHECK yield points must not grow mpmc_queue");
+static_assert(sizeof(q_wait) == sizeof(waitable_mirror),
+              "FFQ_CHECK yield points must not grow waitable_spsc_queue");
+static_assert(alignof(q_spsc) == alignof(spsc_mirror));
+static_assert(alignof(q_spmc) == alignof(spmc_mirror));
+static_assert(alignof(q_mpmc) == alignof(mpmc_mirror));
+static_assert(alignof(q_wait) == alignof(waitable_mirror));
+
+// Model shapes shared with tools/check_explore.cpp (kept tiny so DFS
+// bound 2 finishes in milliseconds).
+model::world make_spsc_model(model::consumer_mutation cmut =
+                                 model::consumer_mutation::none) {
+  model::world w(2, 3);
+  w.producer_ranges_ = {{1, 3}};
+  w.threads_.push_back(std::make_unique<model::alg1_producer>(
+      1, 3, model::producer_mutation::none));
+  w.threads_.push_back(std::make_unique<model::alg1_consumer>(3, cmut));
+  return w;
+}
+
+model::world make_spmc_model(model::consumer_mutation cmut =
+                                 model::consumer_mutation::none) {
+  model::world w(2, 4);
+  w.producer_ranges_ = {{1, 4}};
+  w.threads_.push_back(std::make_unique<model::alg1_producer>(
+      1, 4, model::producer_mutation::none));
+  w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
+  w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
+  return w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Schedule codec.
+// ---------------------------------------------------------------------------
+
+TEST(CheckSchedule, FormatUsesRunLengthEncoding) {
+  EXPECT_EQ(chk::format_schedule({{0, 0, 0, 1, 0, 2, 2}}), "0*3.1.0.2*2");
+  EXPECT_EQ(chk::format_schedule({{5}}), "5");
+  EXPECT_EQ(chk::format_schedule({{}}), "-");
+}
+
+TEST(CheckSchedule, ParseIsTheExactInverse) {
+  const std::vector<std::vector<int>> cases = {
+      {}, {0}, {1, 1, 1}, {0, 1, 0, 1}, {2, 2, 0, 0, 0, 1}};
+  for (const auto& picks : cases) {
+    const chk::schedule s{picks};
+    const auto back = chk::parse_schedule(chk::format_schedule(s));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(CheckSchedule, ParseRejectsMalformedInput) {
+  for (const char* bad : {"0..1", "*3", "1*", "1*0", "a", "0.1x", "1.*2"}) {
+    EXPECT_FALSE(chk::parse_schedule(bad).has_value()) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative scheduler: externally driven, deterministic, yield hooks.
+// ---------------------------------------------------------------------------
+
+TEST(CheckSched, StepsTasksInExactlyTheOrderDriven) {
+  auto run = [](const std::vector<int>& picks) {
+    chk::coop_sched s;
+    std::vector<int> log;
+    for (int t = 0; t < 3; ++t) {
+      s.spawn([&log, t] {
+        log.push_back(t);
+        chk::coop_sched::yield();
+        log.push_back(t + 10);
+      });
+    }
+    for (int p : picks) s.step(p);
+    return log;
+  };
+  // Same schedule twice: bitwise-identical logs (determinism).
+  const std::vector<int> picks = {2, 0, 2, 1, 0, 1};
+  EXPECT_EQ(run(picks), run(picks));
+  EXPECT_EQ(run(picks), (std::vector<int>{2, 0, 12, 1, 10, 11}));
+}
+
+TEST(CheckSched, StepOnFinishedTaskIsANoOp) {
+  chk::coop_sched s;
+  int runs = 0;
+  s.spawn([&] { ++runs; });
+  EXPECT_FALSE(s.step(0));  // runs to completion, no yield
+  EXPECT_TRUE(s.done(0));
+  EXPECT_FALSE(s.step(0));
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(s.all_done());
+  EXPECT_TRUE(s.runnable().empty());
+}
+
+TEST(CheckSched, QueueYieldPointsRouteToTheScheduler) {
+  // An instrumented enqueue/try_dequeue hits FFQ_CHECK_YIELD() inside the
+  // queue; the hook must bounce control back to the driver mid-operation.
+  chk::coop_sched s;
+  q_spsc q(4);
+  std::vector<std::string> log;
+  s.spawn([&] {
+    q.enqueue(7);
+    log.push_back("enqueued");
+  });
+  s.spawn([&] {
+    long long v = 0;
+    while (!q.try_dequeue(v)) chk::coop_sched::yield();
+    log.push_back("dequeued " + std::to_string(v));
+  });
+  // The producer's first step must stop at a yield point *inside*
+  // enqueue — i.e. before "enqueued" is logged.
+  EXPECT_TRUE(s.step(0));
+  EXPECT_TRUE(log.empty());
+  while (!s.all_done()) {
+    for (int t : s.runnable()) s.step(t);
+  }
+  EXPECT_EQ(log, (std::vector<std::string>{"enqueued", "dequeued 7"}));
+}
+
+// ---------------------------------------------------------------------------
+// Oracles.
+// ---------------------------------------------------------------------------
+
+TEST(CheckOracles, ConservationCatchesLossAndDuplication) {
+  std::string why;
+  EXPECT_TRUE(chk::check_conservation({1, 2, 3}, {3, 1, 2}, &why));
+  EXPECT_FALSE(chk::check_conservation({1, 2, 3}, {1, 2}, &why));
+  EXPECT_NE(why.find("lost"), std::string::npos);
+  EXPECT_FALSE(chk::check_conservation({1, 2}, {1, 2, 2}, &why));
+  EXPECT_NE(why.find("never enqueued"), std::string::npos);
+}
+
+TEST(CheckOracles, PerProducerFifoCatchesReordering) {
+  std::string why;
+  using S = std::vector<std::vector<long long>>;
+  const auto v = [](long long p, long long s) {
+    return p * chk::kProducerStride + s;
+  };
+  // Interleaving producers within a stream is fine; going backwards
+  // within one producer is not.
+  EXPECT_TRUE(chk::check_per_producer_fifo(
+      S{{v(0, 0), v(1, 0), v(0, 1), v(1, 1)}}, &why));
+  EXPECT_FALSE(
+      chk::check_per_producer_fifo(S{{v(0, 1), v(1, 0), v(0, 0)}}, &why));
+  EXPECT_NE(why.find("fifo"), std::string::npos);
+  // Ordering across consumers is unconstrained.
+  EXPECT_TRUE(chk::check_per_producer_fifo(S{{v(0, 1)}, {v(0, 0)}}, &why));
+}
+
+TEST(CheckOracles, LinearizabilityAcceptsAWitnessableHistory) {
+  std::string why;
+  // enq(1) and enq(2) overlap, then both are dequeued 2-first: legal,
+  // because the overlapping enqueues may linearize in either order.
+  const std::vector<chk::lin_op> h = {
+      {0, true, 1, 0, 3},
+      {1, true, 2, 1, 2},
+      {2, false, 2, 4, 5},
+      {2, false, 1, 6, 7},
+  };
+  EXPECT_TRUE(chk::check_linearizable(h, &why)) << why;
+}
+
+TEST(CheckOracles, LinearizabilityRejectsReorderedSequentialEnqueues) {
+  std::string why;
+  // enq(1) returns before enq(2) is invoked, so 1 precedes 2 in every
+  // linearization — yet 2 came out first. No witness exists.
+  const std::vector<chk::lin_op> h = {
+      {0, true, 1, 0, 1},
+      {0, true, 2, 2, 3},
+      {1, false, 2, 4, 5},
+      {1, false, 1, 6, 7},
+  };
+  EXPECT_FALSE(chk::check_linearizable(h, &why));
+  EXPECT_NE(why.find("linearizability"), std::string::npos);
+}
+
+TEST(CheckOracles, LinearizabilityRejectsDequeueBeforeAnyEnqueue) {
+  std::string why;
+  const std::vector<chk::lin_op> h = {
+      {0, false, 1, 0, 1},  // dequeue of 1 completed...
+      {1, true, 1, 2, 3},   // ...before its enqueue was even invoked
+  };
+  EXPECT_FALSE(chk::check_linearizable(h, &why));
+}
+
+// ---------------------------------------------------------------------------
+// Model exploration: clean DFS passes, mutation catches, witness replay.
+// ---------------------------------------------------------------------------
+
+TEST(CheckExplore, CleanSpscModelPassesExhaustiveBound2) {
+  const auto r = chk::dfs_explore(make_spsc_model(), {});
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.terminals, 0u);
+}
+
+TEST(CheckExplore, CleanSpmcModelPassesExhaustiveBound2) {
+  const auto r = chk::dfs_explore(make_spmc_model(), {});
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.terminals, 0u);
+}
+
+TEST(CheckExplore, InjectedLine29BugIsCaughtWithReplayableWitness) {
+  // The paper's line-29 re-check omitted: a consumer skips a rank the
+  // producer already published. DFS must find it within preemption bound
+  // 2 and hand back a schedule that reproduces it exactly.
+  const auto w =
+      make_spmc_model(model::consumer_mutation::skip_line29_recheck);
+  const auto r = chk::dfs_explore(w, {});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("gap-accounting"), std::string::npos)
+      << r.violation;
+  ASSERT_FALSE(r.witness.picks.empty());
+
+  // The witness string round-trips through the codec and replays to the
+  // same violation — this is the workflow a human uses from the CLI.
+  const auto parsed =
+      chk::parse_schedule(chk::format_schedule(r.witness));
+  ASSERT_TRUE(parsed.has_value());
+  const auto replay = chk::replay_model(w, *parsed);
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.violation, r.violation);
+
+  // The same schedule on the *unmutated* model trips no safety monitor:
+  // the witness pins the bug, not the schedule shape. (The witness is
+  // truncated at the violating edge, so on the clean model the only
+  // acceptable complaint is that the schedule ends early.)
+  const auto clean = chk::replay_model(make_spmc_model(), *parsed);
+  EXPECT_EQ(clean.violation.find("safety"), std::string::npos)
+      << clean.violation;
+}
+
+TEST(CheckExplore, ModelFuzzPassesAndIsSeedDeterministic) {
+  const auto a = chk::fuzz_model(make_spmc_model(), 7, 300);
+  EXPECT_TRUE(a.ok) << a.violation;
+  const auto b = chk::fuzz_model(make_spmc_model(), 7, 300);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.terminals, b.terminals);
+}
+
+// ---------------------------------------------------------------------------
+// Real queues under the harness: seeded fuzz + schedule replay.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+chk::program_config small_cfg(int producers, int consumers) {
+  chk::program_config cfg;
+  cfg.capacity = 4;
+  cfg.producers = producers;
+  cfg.consumers = consumers;
+  cfg.items_per_producer = 5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(CheckQueues, FuzzSpscPasses) {
+  const auto r = chk::fuzz_queue<q_spsc>(small_cfg(1, 1), 11, 300);
+  EXPECT_TRUE(r.ok) << r.failure.violation
+                    << "\nschedule: " << chk::format_schedule(r.failure.sched);
+}
+
+TEST(CheckQueues, FuzzSpmcPasses) {
+  const auto r = chk::fuzz_queue<q_spmc>(small_cfg(1, 2), 12, 300);
+  EXPECT_TRUE(r.ok) << r.failure.violation
+                    << "\nschedule: " << chk::format_schedule(r.failure.sched);
+}
+
+TEST(CheckQueues, FuzzMpmcPasses) {
+  const auto r = chk::fuzz_queue<q_mpmc>(small_cfg(2, 2), 13, 300);
+  EXPECT_TRUE(r.ok) << r.failure.violation
+                    << "\nschedule: " << chk::format_schedule(r.failure.sched);
+}
+
+TEST(CheckQueues, FuzzWaitablePasses) {
+  const auto r = chk::fuzz_queue<q_wait>(small_cfg(1, 1), 14, 300);
+  EXPECT_TRUE(r.ok) << r.failure.violation
+                    << "\nschedule: " << chk::format_schedule(r.failure.sched);
+}
+
+TEST(CheckQueues, BulkPathsFuzzCleanToo) {
+  auto cfg = small_cfg(1, 1);
+  cfg.enqueue_batch = 3;
+  cfg.dequeue_batch = 2;
+  const auto r = chk::fuzz_queue<q_spsc>(cfg, 15, 300);
+  EXPECT_TRUE(r.ok) << r.failure.violation;
+}
+
+TEST(CheckQueues, RecordedScheduleReplaysToTheIdenticalRun) {
+  const auto cfg = small_cfg(2, 2);
+  chk::random_driver d(99);
+  const auto first = chk::run_program<q_mpmc>(cfg, d);
+  ASSERT_TRUE(first.ok) << first.violation;
+
+  const auto again = chk::replay_queue<q_mpmc>(cfg, first.sched);
+  ASSERT_TRUE(again.ok) << again.violation;
+  EXPECT_EQ(again.streams, first.streams);
+  EXPECT_EQ(again.steps, first.steps);
+  EXPECT_EQ(again.sched, first.sched);
+}

@@ -1,0 +1,123 @@
+// Differential checking across the FFQ family: the same seeded program,
+// run to completion over every queue that supports its shape, must hand
+// out the same dequeue multiset (exactly what went in) and the same
+// per-producer orders. Any divergence localizes a bug to one variant —
+// the queues implement one contract, so they must agree item-for-item.
+//
+// The programs run under the cooperative scheduler with live
+// FFQ_CHECK_YIELD() points (defined before any include), so every run is
+// a deterministic function of (queue type, seed): failures reproduce
+// from the printed schedule via `check_explore --queue <q> --replay`.
+#ifndef FFQ_CHECK
+#define FFQ_CHECK 1
+#endif
+
+#include "ffq/check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ffq/core/mpmc.hpp"
+#include "ffq/core/spmc.hpp"
+#include "ffq/core/spsc.hpp"
+#include "ffq/core/waitable.hpp"
+
+namespace chk = ffq::check;
+
+namespace {
+
+using q_spsc = ffq::core::spsc_queue<long long>;
+using q_spmc = ffq::core::spmc_queue<long long>;
+using q_mpmc = ffq::core::mpmc_queue<long long>;
+using q_wait = ffq::core::waitable_spsc_queue<long long>;
+
+/// One run of the fixed program over Queue under the given seed; the run
+/// must already satisfy the oracles on its own (the harness checks them)
+/// — the differential layer then compares runs *across* queues.
+template <typename Queue>
+chk::run_result run_seeded(const chk::program_config& cfg,
+                           std::uint64_t seed) {
+  chk::random_driver d(seed);
+  chk::run_result r = chk::run_program<Queue>(cfg, d);
+  EXPECT_TRUE(r.ok) << r.violation
+                    << "\nschedule: " << chk::format_schedule(r.sched);
+  return r;
+}
+
+chk::program_config shape(int producers, int consumers, int items) {
+  chk::program_config cfg;
+  cfg.capacity = 4;  // smaller than the item count: wraps and full-ring
+  cfg.producers = producers;
+  cfg.consumers = consumers;
+  cfg.items_per_producer = items;
+  return cfg;
+}
+
+}  // namespace
+
+// Single-producer / single-consumer program: every queue in the family
+// supports it, and with one consumer the per-producer-FIFO guarantee
+// collapses to *exact stream equality* — all four queues must emit the
+// identical sequence, not just the identical multiset.
+TEST(Differential, SpscShapeAgreesAcrossAllFourQueues) {
+  const auto cfg = shape(1, 1, 10);
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto a = run_seeded<q_spsc>(cfg, seed);
+    const auto b = run_seeded<q_spmc>(cfg, seed);
+    const auto c = run_seeded<q_mpmc>(cfg, seed);
+    const auto d = run_seeded<q_wait>(cfg, seed);
+    ASSERT_EQ(a.dequeued_sorted, b.dequeued_sorted) << "seed " << seed;
+    ASSERT_EQ(a.dequeued_sorted, c.dequeued_sorted) << "seed " << seed;
+    ASSERT_EQ(a.dequeued_sorted, d.dequeued_sorted) << "seed " << seed;
+    ASSERT_EQ(a.streams, b.streams) << "seed " << seed;
+    ASSERT_EQ(a.streams, c.streams) << "seed " << seed;
+    ASSERT_EQ(a.streams, d.streams) << "seed " << seed;
+  }
+}
+
+// Single-producer / two-consumer program over the multi-consumer queues:
+// streams may split differently between consumers (schedules differ per
+// queue type), but the multiset and each stream's per-producer order are
+// pinned by the oracles, and the multisets must agree across queues.
+TEST(Differential, SpmcShapeAgreesBetweenSpmcAndMpmc) {
+  const auto cfg = shape(1, 2, 10);
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto a = run_seeded<q_spmc>(cfg, seed);
+    const auto b = run_seeded<q_mpmc>(cfg, seed);
+    ASSERT_EQ(a.dequeued_sorted.size(), 10u) << "seed " << seed;
+    ASSERT_EQ(a.dequeued_sorted, b.dequeued_sorted) << "seed " << seed;
+  }
+}
+
+// Two-producer / two-consumer program (MPMC only in the family, but the
+// bulk and scalar paths of the same queue must also agree with each
+// other): scalar vs batched enqueue/dequeue is a program-level detail
+// the queue contract must not observe.
+TEST(Differential, ScalarAndBulkPathsAgreeOnMpmc) {
+  auto scalar = shape(2, 2, 8);
+  auto bulk = scalar;
+  bulk.enqueue_batch = 3;
+  bulk.dequeue_batch = 2;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto a = run_seeded<q_mpmc>(scalar, seed);
+    const auto b = run_seeded<q_mpmc>(bulk, seed);
+    ASSERT_EQ(a.dequeued_sorted, b.dequeued_sorted) << "seed " << seed;
+  }
+}
+
+// The waitable wrapper must be transparent: same program, same seed,
+// same stream as the raw SPSC queue underneath (its wake-signal windows
+// add yield points, so the schedules differ — the output must not).
+TEST(Differential, WaitableWrapperIsTransparentOverSpsc) {
+  auto cfg = shape(1, 1, 10);
+  cfg.enqueue_batch = 2;
+  cfg.dequeue_batch = 3;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto a = run_seeded<q_spsc>(cfg, seed);
+    const auto b = run_seeded<q_wait>(cfg, seed);
+    ASSERT_EQ(a.streams, b.streams) << "seed " << seed;
+  }
+}

@@ -10,6 +10,13 @@
 
 namespace rt = ffq::runtime;
 
+// The park/wake tests sleep to let waiter threads reach the futex; that
+// scheduling assumption needs a second hardware thread, and the binary
+// runs RUN_SERIAL so parallel ctest jobs don't dilate the sleeps.
+#define FFQ_REQUIRE_PARALLEL_HW()                    \
+  if (std::thread::hardware_concurrency() < 2)       \
+  GTEST_SKIP() << "needs >= 2 hardware threads"
+
 TEST(Eventcount, CancelWaitLeavesNoWaiters) {
   rt::eventcount ec;
   auto key = ec.prepare_wait();
@@ -41,6 +48,7 @@ TEST(Eventcount, StaleKeyReturnsImmediately) {
 }
 
 TEST(Eventcount, WakesParkedThread) {
+  FFQ_REQUIRE_PARALLEL_HW();
   rt::eventcount ec;
   std::atomic<bool> data{false};
   std::atomic<bool> woke{false};
@@ -64,6 +72,7 @@ TEST(Eventcount, WakesParkedThread) {
 }
 
 TEST(Eventcount, NotifyAllWakesEveryone) {
+  FFQ_REQUIRE_PARALLEL_HW();
   rt::eventcount ec;
   constexpr int kWaiters = 4;
   std::atomic<bool> go{false};

@@ -165,13 +165,16 @@ TEST(ModelAlg1, PublishBeforeDataIsCaught) {
 
 TEST(ModelAlg1, SkippingLine29RecheckIsCaught) {
   // Without the rank != rank re-check, a consumer abandons a rank whose
-  // item was already published: the item is lost and some schedules can
-  // no longer complete.
+  // item was already published. The gap-accounting monitor flags the
+  // skip-of-a-published-rank on the exact edge (it used to surface only
+  // downstream, as a liveness wedge).
   const auto r = check(make_alg1(2, 4, {2, 2},
                                  producer_mutation::none,
                                  consumer_mutation::skip_line29_recheck));
   EXPECT_FALSE(r.ok) << "states=" << r.states;
-  EXPECT_NE(r.violation.find("liveness"), std::string::npos) << r.violation;
+  EXPECT_NE(r.violation.find("safety"), std::string::npos) << r.violation;
+  EXPECT_NE(r.violation.find("gap-accounting"), std::string::npos)
+      << r.violation;
 }
 
 TEST(ModelAlg1Bulk, PublishBeforeDataInBulkIsCaught) {
@@ -202,18 +205,22 @@ TEST(ModelAlg2, DirectPublishWithoutReserveIsCaught) {
 }
 
 TEST(ModelAlg2, GapIgnoringRankIsCaught) {
-  // The "enqueue in the past" race of §III-B.
+  // The "enqueue in the past" race of §III-B, now named as such: the
+  // monitor flags the publish onto an already-skipped rank on the exact
+  // edge (previously only visible as the downstream liveness wedge).
   const auto r = check(make_alg2(1, 2, 2, {4},
                                  alg2_mutation::gap_ignores_rank));
   EXPECT_FALSE(r.ok) << "states=" << r.states;
-  EXPECT_NE(r.violation.find("liveness"), std::string::npos) << r.violation;
+  EXPECT_NE(r.violation.find("safety"), std::string::npos) << r.violation;
+  EXPECT_NE(r.violation.find("enqueue in the past"), std::string::npos)
+      << r.violation;
 }
 
 TEST(ModelAlg2, ClaimIgnoringGapIsCaught) {
   const auto r = check(make_alg2(1, 2, 2, {4},
                                  alg2_mutation::claim_ignores_gap));
   EXPECT_FALSE(r.ok) << "states=" << r.states;
-  EXPECT_NE(r.violation.find("liveness"), std::string::npos) << r.violation;
+  EXPECT_NE(r.violation.find("safety"), std::string::npos) << r.violation;
 }
 
 TEST(ModelAlg2, ThrottleDeadlockRegressionIsCaught) {

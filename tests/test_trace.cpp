@@ -859,10 +859,31 @@ TEST(TraceWatchdog, NoProbesDumpIsOk) {
   EXPECT_NE(dump.find("=== ffq watchdog: ok ==="), std::string::npos);
 }
 
+// Deterministic verdict tests: the test owns time through an injected
+// clock and is the only sampler (sample_once(), no sampler thread), so
+// every assertion below is a pure state-machine check — no sleeps, no
+// deadline polling, no dependence on machine load.
+
+namespace {
+
+/// Hand-cranked time source for watchdog::config::clock.
+struct fake_clock {
+  // Start well past the epoch so "age since baseline" arithmetic never
+  // underflows a default-constructed time_point.
+  std::chrono::steady_clock::time_point t{
+      std::chrono::steady_clock::time_point{} + std::chrono::hours(1)};
+  void advance(std::chrono::milliseconds d) { t += d; }
+  std::function<std::chrono::steady_clock::time_point()> fn() {
+    return [this] { return t; };
+  }
+};
+
+}  // namespace
+
 // The acceptance demo: a consumer that consumed, then silently stopped
 // with work pending. The watchdog must trigger, say stuck_consumer, and
 // name the frozen thread.
-TEST(TraceWatchdog, LiveStuckConsumerIsDetectedAndNamed) {
+TEST(TraceWatchdog, StuckConsumerIsDetectedAndNamedDeterministically) {
   auto& reg = trc::registry::instance();
   reg.reset();
   spmc_q<trc::enabled> q(64);
@@ -878,38 +899,29 @@ TEST(TraceWatchdog, LiveStuckConsumerIsDetectedAndNamed) {
   });
   consumer.join();
 
-  std::mutex mu;
+  fake_clock clock;
   std::vector<std::string> dumps;
   trc::watchdog::config cfg;
-  cfg.sample_interval = std::chrono::milliseconds(5);
   cfg.stall_threshold = std::chrono::milliseconds(40);
-  cfg.sink = [&](trc::verdict, const std::string& d) {
-    std::lock_guard<std::mutex> lock(mu);
-    dumps.push_back(d);
-  };
+  cfg.clock = clock.fn();
+  cfg.sink = [&](trc::verdict, const std::string& d) { dumps.push_back(d); };
   trc::watchdog wd(std::move(cfg));
   wd.add_probe(trc::make_queue_probe(q, "ffq-spmc#0"));
-  wd.start();
 
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (wd.triggers() == 0 && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  // Let the ring-progress history age past the threshold so the dump can
-  // name the frozen consumer, then take a post-mortem on demand too.
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
-  const std::string post_mortem = wd.dump_now();
-  wd.stop();
+  wd.sample_once();  // below threshold: arms ring-progress history only
+  EXPECT_EQ(wd.triggers(), 0u);
 
-  ASSERT_GE(wd.triggers(), 1u) << "watchdog never fired";
+  clock.advance(std::chrono::milliseconds(41));
+  wd.sample_once();  // head frozen past threshold with work pending
+  ASSERT_EQ(wd.triggers(), 1u);
   EXPECT_EQ(wd.last_verdict(), trc::verdict::stuck_consumer);
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    ASSERT_FALSE(dumps.empty());
-    EXPECT_NE(dumps[0].find("stuck_consumer"), std::string::npos);
-    EXPECT_NE(dumps[0].find("ffq-spmc#0"), std::string::npos);
-  }
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].find("stuck_consumer"), std::string::npos);
+  EXPECT_NE(dumps[0].find("ffq-spmc#0"), std::string::npos);
+
+  // The post-mortem names the frozen consumer: its progress epoch is > 0
+  // and has not moved across the (fake) stall window.
+  const std::string post_mortem = wd.dump_now();
   EXPECT_NE(post_mortem.find("lazy-consumer"), std::string::npos);
   EXPECT_NE(post_mortem.find("STALLED CONSUMER"), std::string::npos);
 }
@@ -921,50 +933,70 @@ TEST(TraceWatchdog, RecoversAndStaysQuietOncePerIncident) {
   q.enqueue(1);
   q.enqueue(2);
 
-  std::atomic<int> fired{0};
+  fake_clock clock;
+  int fired = 0;
   trc::watchdog::config cfg;
-  cfg.sample_interval = std::chrono::milliseconds(5);
   cfg.stall_threshold = std::chrono::milliseconds(30);
+  cfg.clock = clock.fn();
   cfg.sink = [&](trc::verdict, const std::string&) { ++fired; };
   trc::watchdog wd(std::move(cfg));
   wd.add_probe(trc::make_queue_probe(q, "q"));
-  wd.start();
 
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  ASSERT_EQ(fired.load(), 1);
+  clock.advance(std::chrono::milliseconds(31));
+  wd.sample_once();
+  ASSERT_EQ(fired, 1);
+
   // Same incident, more samples: once_per_incident keeps it at one dump.
-  std::this_thread::sleep_for(std::chrono::milliseconds(80));
-  EXPECT_EQ(fired.load(), 1);
+  for (int i = 0; i < 5; ++i) {
+    clock.advance(std::chrono::milliseconds(31));
+    wd.sample_once();
+  }
+  EXPECT_EQ(fired, 1);
 
   // Head moves (incident clears), then freezes again with work pending:
   // a second incident, a second dump.
   u64 v = 0;
   ASSERT_TRUE(q.try_dequeue(v));
-  const auto deadline2 =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (fired.load() < 2 && std::chrono::steady_clock::now() < deadline2) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  wd.stop();
-  EXPECT_EQ(fired.load(), 2);
+  wd.sample_once();  // observes the moved head, closes the incident
+  EXPECT_EQ(fired, 1);
+  clock.advance(std::chrono::milliseconds(31));
+  wd.sample_once();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TraceWatchdog, FullRingLivelockVerdictDeterministically) {
+  trc::registry::instance().reset();
+  spmc_q<trc::enabled> q(4);
+  for (u64 i = 1; i <= 4; ++i) q.enqueue(i);  // ring full, nobody consumes
+
+  fake_clock clock;
+  trc::watchdog::config cfg;
+  cfg.stall_threshold = std::chrono::milliseconds(30);
+  cfg.clock = clock.fn();
+  cfg.sink = [](trc::verdict, const std::string&) {};
+  trc::watchdog wd(std::move(cfg));
+  wd.add_probe(trc::make_queue_probe(q, "full"));
+
+  clock.advance(std::chrono::milliseconds(31));
+  wd.sample_once();
+  EXPECT_EQ(wd.triggers(), 1u);
+  EXPECT_EQ(wd.last_verdict(), trc::verdict::full_ring_livelock);
 }
 
 TEST(TraceWatchdog, IdleQueueNeverTriggers) {
   trc::registry::instance().reset();
   spmc_q<trc::enabled> q(64);  // empty: tail == head
+  fake_clock clock;
   trc::watchdog::config cfg;
-  cfg.sample_interval = std::chrono::milliseconds(2);
   cfg.stall_threshold = std::chrono::milliseconds(10);
+  cfg.clock = clock.fn();
   cfg.sink = [](trc::verdict, const std::string&) {};
   trc::watchdog wd(std::move(cfg));
   wd.add_probe(trc::make_queue_probe(q, "idle"));
-  wd.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(80));
-  wd.stop();
+  for (int i = 0; i < 10; ++i) {
+    clock.advance(std::chrono::milliseconds(100));
+    wd.sample_once();
+  }
   EXPECT_EQ(wd.triggers(), 0u);
   EXPECT_EQ(wd.last_verdict(), trc::verdict::ok);
 }

@@ -9,6 +9,14 @@
 
 using ffq::core::waitable_spsc_queue;
 
+// The park/wake tests sleep to let a peer thread spin out and park; that
+// scheduling assumption (not the correctness claim) needs a second
+// hardware thread. The binary also runs RUN_SERIAL so parallel ctest
+// jobs don't dilate the sleeps.
+#define FFQ_REQUIRE_PARALLEL_HW()                    \
+  if (std::thread::hardware_concurrency() < 2)       \
+  GTEST_SKIP() << "needs >= 2 hardware threads"
+
 TEST(WaitableSpsc, BasicFifo) {
   waitable_spsc_queue<int> q(64);
   for (int i = 0; i < 10; ++i) q.enqueue(i);
@@ -21,6 +29,7 @@ TEST(WaitableSpsc, BasicFifo) {
 }
 
 TEST(WaitableSpsc, DequeueParksAndWakes) {
+  FFQ_REQUIRE_PARALLEL_HW();
   waitable_spsc_queue<int> q(64);
   std::atomic<int> got{-1};
   std::thread consumer([&] {
@@ -36,6 +45,7 @@ TEST(WaitableSpsc, DequeueParksAndWakes) {
 }
 
 TEST(WaitableSpsc, CloseWakesParkedConsumer) {
+  FFQ_REQUIRE_PARALLEL_HW();
   waitable_spsc_queue<int> q(64);
   std::atomic<int> result{-1};
   std::thread consumer([&] {
@@ -118,6 +128,7 @@ TEST(WaitableSpsc, BulkPassThroughRoundTrips) {
 }
 
 TEST(WaitableSpsc, BulkEnqueueWakesParkedBulkConsumer) {
+  FFQ_REQUIRE_PARALLEL_HW();
   waitable_spsc_queue<int> q(64);
   std::atomic<std::size_t> got{0};
   std::thread consumer([&] {

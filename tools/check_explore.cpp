@@ -1,0 +1,282 @@
+// check_explore — drive ffq::check from the command line.
+//
+// Model substrate (clonable state machines; supports exhaustive DFS):
+//   check_explore --model spsc --bound 2          exhaustive, preemption<=2
+//   check_explore --model spmc --fuzz 5000        seeded random schedules
+//   check_explore --model spmc --mutate skip_line29_recheck --fuzz 5000
+//   check_explore --model spmc --mutate skip_line29_recheck --replay 0.1*3.0
+//
+// Real queues (FFQ_CHECK_YIELD instrumentation; random + replay drivers):
+//   check_explore --queue all --fuzz 10000 --seed 1
+//   check_explore --queue mpmc --replay '2*14.0.2*3.1*7'
+//
+// Exit codes: 0 = every explored schedule passed; 1 = an oracle was
+// violated (the offending schedule string is printed for --replay);
+// 2 = usage error. The program shapes are fixed per target name so a
+// printed schedule replays against an identical program.
+#ifndef FFQ_CHECK
+#define FFQ_CHECK 1  // instrument the queue headers in this TU
+#endif
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "ffq/check/check.hpp"
+#include "ffq/core/mpmc.hpp"
+#include "ffq/core/spmc.hpp"
+#include "ffq/core/spsc.hpp"
+#include "ffq/core/waitable.hpp"
+#include "ffq/model/ffq_alg1.hpp"
+#include "ffq/model/ffq_alg2.hpp"
+
+namespace {
+
+using namespace ffq::check;
+namespace model = ffq::model;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: check_explore --model spsc|spmc|mpmc [--bound N] "
+               "[--fuzz N] [--replay SCHED] [--mutate NAME] [--seed S]\n"
+               "       check_explore --queue spsc|spmc|mpmc|waitable|all "
+               "--fuzz N [--replay SCHED] [--seed S]\n"
+               "mutations: publish_before_data skip_line29_recheck "
+               "claim_publishes_directly gap_ignores_rank claim_ignores_gap\n");
+  return 2;
+}
+
+// ---- model programs (fixed shapes so schedules replay) -------------------
+
+/// SPSC shape: 1 producer x 3 items, 1 consumer, 2 cells (forces wraps).
+/// SPMC shape: 1 producer x 4 items, 2 consumers x quota 2, 2 cells.
+/// MPMC shape: 2 producers x 2 items, 2 consumers x quota 2, 2 cells.
+model::world make_model(const std::string& name, const std::string& mutate) {
+  auto pmut = model::producer_mutation::none;
+  auto cmut = model::consumer_mutation::none;
+  auto mmut = model::alg2_mutation::none;
+  if (mutate == "publish_before_data") {
+    pmut = model::producer_mutation::publish_before_data;
+  } else if (mutate == "skip_line29_recheck") {
+    cmut = model::consumer_mutation::skip_line29_recheck;
+  } else if (mutate == "claim_publishes_directly") {
+    mmut = model::alg2_mutation::claim_publishes_directly;
+  } else if (mutate == "gap_ignores_rank") {
+    mmut = model::alg2_mutation::gap_ignores_rank;
+  } else if (mutate == "claim_ignores_gap") {
+    mmut = model::alg2_mutation::claim_ignores_gap;
+  } else if (!mutate.empty()) {
+    throw std::invalid_argument("unknown mutation: " + mutate);
+  }
+
+  if (name == "spsc") {
+    model::world w(2, 3);
+    w.producer_ranges_ = {{1, 3}};
+    w.threads_.push_back(std::make_unique<model::alg1_producer>(1, 3, pmut));
+    w.threads_.push_back(std::make_unique<model::alg1_consumer>(3, cmut));
+    return w;
+  }
+  if (name == "spmc") {
+    model::world w(2, 4);
+    w.producer_ranges_ = {{1, 4}};
+    w.threads_.push_back(std::make_unique<model::alg1_producer>(1, 4, pmut));
+    w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
+    w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
+    return w;
+  }
+  if (name == "mpmc") {
+    model::world w(2, 4);
+    w.producer_ranges_ = {{1, 2}, {3, 4}};
+    w.threads_.push_back(std::make_unique<model::alg2_producer>(1, 2, mmut));
+    w.threads_.push_back(std::make_unique<model::alg2_producer>(3, 2, mmut));
+    w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
+    w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
+    return w;
+  }
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+int report_model(const explore_result& r, const char* what) {
+  if (r.ok) {
+    std::printf("check_explore: %s passed (%zu states, %zu terminals%s)\n",
+                what, r.states, r.terminals,
+                r.exhausted ? "" : ", state bound hit");
+    return r.exhausted ? 0 : 2;
+  }
+  std::printf("check_explore: VIOLATION (%s)\n  %s\n  schedule: %s\n", what,
+              r.violation.c_str(), format_schedule(r.witness).c_str());
+  return 1;
+}
+
+// ---- real-queue programs (fixed shapes so schedules replay) --------------
+
+/// One program shape per queue name, small enough for the Wing-Gong
+/// bound: spsc/waitable 1x6 items 1 consumer; spmc 1x6, 2 consumers;
+/// mpmc 2x4, 2 consumers.
+program_config queue_config(const std::string& name) {
+  program_config cfg;
+  cfg.capacity = 4;
+  if (name == "mpmc") {
+    cfg.producers = 2;
+    cfg.items_per_producer = 4;
+    cfg.consumers = 2;
+  } else if (name == "spmc") {
+    cfg.producers = 1;
+    cfg.items_per_producer = 6;
+    cfg.consumers = 2;
+  } else {  // spsc, waitable: single consumer by contract
+    cfg.producers = 1;
+    cfg.items_per_producer = 6;
+    cfg.consumers = 1;
+  }
+  return cfg;
+}
+
+template <typename Queue>
+int fuzz_one_queue(const std::string& name, std::uint64_t seed,
+                   std::uint64_t runs) {
+  const program_config cfg = queue_config(name);
+  const fuzz_result r = fuzz_queue<Queue>(cfg, seed, runs);
+  if (r.ok) {
+    std::printf("check_explore: queue %s passed %llu schedules (seed %llu)\n",
+                name.c_str(), static_cast<unsigned long long>(r.runs),
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+  std::printf(
+      "check_explore: VIOLATION (queue %s, run %llu)\n  %s\n  schedule: %s\n",
+      name.c_str(), static_cast<unsigned long long>(r.runs - 1),
+      r.failure.violation.c_str(), format_schedule(r.failure.sched).c_str());
+  return 1;
+}
+
+template <typename Queue>
+int replay_one_queue(const std::string& name, const schedule& s) {
+  const run_result r = replay_queue<Queue>(queue_config(name), s);
+  if (r.ok) {
+    std::printf("check_explore: queue %s replay passed (%llu steps)\n",
+                name.c_str(), static_cast<unsigned long long>(r.steps));
+    return 0;
+  }
+  std::printf("check_explore: VIOLATION (queue %s replay)\n  %s\n  schedule: %s\n",
+              name.c_str(), r.violation.c_str(),
+              format_schedule(r.sched).c_str());
+  return 1;
+}
+
+using q_spsc = ffq::core::spsc_queue<long long>;
+using q_spmc = ffq::core::spmc_queue<long long>;
+using q_mpmc = ffq::core::mpmc_queue<long long>;
+using q_wait = ffq::core::waitable_spsc_queue<long long>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name, queue_name, mutate, replay_str;
+  int bound = -1;
+  std::uint64_t fuzz_runs = 0;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+    } else if (i + 1 < argc && arg != "--help") {
+      value = argv[i + 1];
+    }
+    auto take = [&]() {  // consume the separated value form
+      if (eq == std::string::npos) ++i;
+      return value;
+    };
+    if (arg == "--model") {
+      model_name = take();
+    } else if (arg == "--queue") {
+      queue_name = take();
+    } else if (arg == "--mutate") {
+      mutate = take();
+    } else if (arg == "--replay") {
+      replay_str = take();
+    } else if (arg == "--bound") {
+      bound = std::atoi(take().c_str());
+    } else if (arg == "--fuzz") {
+      fuzz_runs = std::strtoull(take().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(take().c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  if (model_name.empty() == queue_name.empty()) return usage();  // exactly one
+
+  schedule replay_sched;
+  if (!replay_str.empty()) {
+    auto parsed = parse_schedule(replay_str);
+    if (!parsed) {
+      std::fprintf(stderr, "check_explore: malformed schedule '%s'\n",
+                   replay_str.c_str());
+      return 2;
+    }
+    replay_sched = std::move(*parsed);
+  }
+
+  if (!model_name.empty()) {
+    std::optional<model::world> w;
+    try {
+      w.emplace(make_model(model_name, mutate));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "check_explore: %s\n", e.what());
+      return 2;
+    }
+    if (!replay_str.empty()) {
+      return report_model(replay_model(*w, replay_sched), "model replay");
+    }
+    int rc = 0;
+    if (bound >= 0) {
+      dfs_options opt;
+      opt.preemption_bound = bound;
+      const std::string what =
+          "model " + model_name + " DFS bound " + std::to_string(bound);
+      rc = report_model(dfs_explore(*w, opt), what.c_str());
+      if (rc != 0) return rc;
+    }
+    if (fuzz_runs > 0) {
+      const std::string what = "model " + model_name + " fuzz " +
+                               std::to_string(fuzz_runs) + " (seed " +
+                               std::to_string(seed) + ")";
+      rc = report_model(fuzz_model(*w, seed, fuzz_runs), what.c_str());
+    }
+    if (bound < 0 && fuzz_runs == 0) return usage();
+    return rc;
+  }
+
+  // Real-queue mode.
+  if (!mutate.empty() || bound >= 0) return usage();  // model-only options
+  if (!replay_str.empty()) {
+    if (queue_name == "spsc") return replay_one_queue<q_spsc>(queue_name, replay_sched);
+    if (queue_name == "spmc") return replay_one_queue<q_spmc>(queue_name, replay_sched);
+    if (queue_name == "mpmc") return replay_one_queue<q_mpmc>(queue_name, replay_sched);
+    if (queue_name == "waitable") return replay_one_queue<q_wait>(queue_name, replay_sched);
+    return usage();
+  }
+  if (fuzz_runs == 0) return usage();
+  int rc = 0;
+  const bool all = queue_name == "all";
+  if (all || queue_name == "spsc") rc |= fuzz_one_queue<q_spsc>("spsc", seed, fuzz_runs);
+  if (all || queue_name == "spmc") rc |= fuzz_one_queue<q_spmc>("spmc", seed, fuzz_runs);
+  if (all || queue_name == "mpmc") rc |= fuzz_one_queue<q_mpmc>("mpmc", seed, fuzz_runs);
+  if (all || queue_name == "waitable") rc |= fuzz_one_queue<q_wait>("waitable", seed, fuzz_runs);
+  if (!all && rc == 0 && queue_name != "spsc" && queue_name != "spmc" &&
+      queue_name != "mpmc" && queue_name != "waitable") {
+    return usage();
+  }
+  return rc;
+}
