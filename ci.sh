@@ -1,90 +1,225 @@
 #!/usr/bin/env bash
-# ci.sh — the checks a PR must pass.
+# ci.sh — the checks a PR must pass, as six independently runnable legs.
 #
-#  1. tier-1 verify: full RelWithDebInfo build + the whole ctest suite
-#     (FFQ_TELEMETRY=OFF, the default — the zero-cost configuration);
-#  2. telemetry leg: the same build + full suite with FFQ_TELEMETRY=ON,
-#     so both sides of the compile-time policy stay green;
-#  3. trace leg: full build + suite with FFQ_TRACE=ON (and telemetry ON,
-#     so both hook families coexist), then an end-to-end check: the MPMC
-#     trace_stress tool exports a Perfetto trace that trace_check must
-#     validate (per-producer FIFO, no loss, no duplication);
-#  4. TSan sweep: the core queue test binaries plus the telemetry suite
-#     rebuilt with -fsanitize=thread (telemetry ON, so the instrumented
-#     hot paths are the ones checked) and run to completion, plus the
-#     MPMC trace_stress tool as a multi-threaded stress under TSan —
-#     halt_on_error=1 turns any reported race into a nonzero exit;
-#  5. check leg: FFQ_CHECK=ON build + full suite with live yield points,
-#     then check_explore end to end — exhaustive preemption-bound-2 DFS
-#     over the SPSC and SPMC models, a 10k-schedule seeded fuzz of all
-#     four real queues, and a mutation-catch gate: an intentionally
-#     injected line-29 bug must be caught with a schedule string that
-#     replays to the same violation.
+#  tier1     full RelWithDebInfo build + the whole ctest suite
+#            (FFQ_TELEMETRY=OFF, the default — the zero-cost
+#            configuration), then the bench smoke-regression gate:
+#            bench_batch_ops and bench_telemetry_overhead run in --quick
+#            mode and tools/bench_gate.py fails the leg when the median
+#            row ratio against the committed BENCH_*.json baselines
+#            drops more than 25% (tolerance rationale in bench_gate.py);
+#  telemetry the same build + full suite with FFQ_TELEMETRY=ON, so both
+#            sides of the compile-time policy stay green;
+#  trace     full build + suite with FFQ_TRACE=ON (and telemetry ON, so
+#            both hook families coexist), then an end-to-end check: the
+#            MPMC trace_stress tool exports a Perfetto trace that
+#            trace_check must validate (per-producer FIFO, no loss, no
+#            duplication);
+#  tsan      the core queue + shard + telemetry suites rebuilt with
+#            -fsanitize=thread (telemetry ON, so the instrumented hot
+#            paths are the ones checked) and run to completion, plus
+#            trace_stress as a multi-threaded race hunt —
+#            halt_on_error=1 turns any reported race into failure;
+#  asan      the same binaries under -fsanitize=address,undefined
+#            (-fno-sanitize-recover=all, so UB aborts too): buffer and
+#            lifetime bugs the race hunt can't see;
+#  check     FFQ_CHECK=ON build + full suite with live yield points,
+#            then check_explore end to end — exhaustive
+#            preemption-bound-2 DFS over the SPSC, SPMC, and shard-
+#            scheduler models, a seeded schedule fuzz of every real
+#            queue (both fabric modes included via --queue all), and a
+#            mutation-catch gate: an intentionally injected line-29 bug
+#            must be caught with a schedule string that replays to the
+#            same violation.
 #
-# Usage: ./ci.sh [jobs]   (defaults to nproc)
+# Usage: ./ci.sh [options] [jobs]
+#   --leg NAME   run only this leg (repeatable, or comma-separated;
+#                names: tier1 telemetry trace tsan asan check)
+#   --fresh      wipe each selected leg's build directory first
+#   --jobs N     parallel build/test jobs (default: nproc; bare numeric
+#                positional argument still works)
+#
+# Each leg's build tree is reused across runs. Before reusing one, the
+# leg's defining FFQ_* options are checked against the existing
+# CMakeCache.txt; a stale cache (e.g. build-check configured while
+# FFQ_CHECK was OFF) is detected and reconfigured from scratch instead
+# of silently testing the wrong configuration.
 set -euo pipefail
 cd "$(dirname "$0")"
-JOBS="${1:-$(nproc)}"
 
-echo "=== tier-1: build + full test suite (FFQ_TELEMETRY=OFF) ==="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+ALL_LEGS=(tier1 telemetry trace tsan asan check)
+LEGS=()
+FRESH=0
+JOBS="$(nproc)"
 
-echo "=== telemetry: build + full test suite (FFQ_TELEMETRY=ON) ==="
-cmake --preset telemetry >/dev/null
-cmake --build build-telemetry -j "$JOBS"
-ctest --test-dir build-telemetry --output-on-failure -j "$JOBS"
-
-echo "=== trace: build + full test suite (FFQ_TRACE=ON) ==="
-cmake --preset trace >/dev/null
-cmake --build build-trace -j "$JOBS"
-ctest --test-dir build-trace --output-on-failure -j "$JOBS"
-echo "--- trace end-to-end: MPMC stress -> Perfetto export -> trace_check ---"
-TRACE_OUT="build-trace/ci_mpmc_trace.json"
-./build-trace/tools/trace_stress --trace="$TRACE_OUT" \
-  --producers=2 --consumers=2 --items=4000
-./build-trace/tools/trace_check --expect-drained "$TRACE_OUT"
-
-echo "=== tsan: queue + telemetry suites under ThreadSanitizer ==="
-cmake --preset tsan >/dev/null
-cmake --build build-tsan -j "$JOBS" \
-  --target test_spsc test_spmc test_mpmc test_waitable test_eventcount \
-           test_telemetry trace_stress
-for t in test_spsc test_spmc test_mpmc test_waitable test_eventcount \
-         test_telemetry; do
-  echo "--- $t (tsan) ---"
-  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --leg)
+      [[ $# -ge 2 ]] || { echo "ci.sh: --leg needs a name" >&2; exit 2; }
+      IFS=',' read -ra parts <<< "$2"
+      LEGS+=("${parts[@]}")
+      shift 2 ;;
+    --leg=*)
+      IFS=',' read -ra parts <<< "${1#--leg=}"
+      LEGS+=("${parts[@]}")
+      shift ;;
+    --fresh) FRESH=1; shift ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+    -h|--help) sed -n '2,48p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    [0-9]*) JOBS="$1"; shift ;;  # legacy: ./ci.sh 8
+    *) echo "ci.sh: unknown argument '$1' (see --help)" >&2; exit 2 ;;
+  esac
 done
-echo "--- trace_stress (tsan): MPMC contention as a race hunt ---"
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/trace_stress \
-  --trace=build-tsan/tsan_stress_trace.json \
-  --producers=2 --consumers=2 --items=20000
+[[ ${#LEGS[@]} -gt 0 ]] || LEGS=("${ALL_LEGS[@]}")
+for leg in "${LEGS[@]}"; do
+  [[ " ${ALL_LEGS[*]} " == *" $leg "* ]] ||
+    { echo "ci.sh: unknown leg '$leg' (have: ${ALL_LEGS[*]})" >&2; exit 2; }
+done
 
-echo "=== check: deterministic schedule exploration (FFQ_CHECK=ON) ==="
-cmake --preset check >/dev/null
-cmake --build build-check -j "$JOBS"
-ctest --test-dir build-check --output-on-failure -j "$JOBS"
-echo "--- exhaustive: preemption-bound-2 DFS over the SPSC + SPMC models ---"
-./build-check/tools/check_explore --model spsc --bound 2
-./build-check/tools/check_explore --model spmc --bound 2
-./build-check/tools/check_explore --model mpmc --fuzz 2000 --seed 1
-echo "--- seeded fuzz: 10000 schedules over every real queue ---"
-./build-check/tools/check_explore --queue all --fuzz 10000 --seed 1
-echo "--- mutation gate: injected line-29 bug must be caught and replay ---"
-MUT_OUT="build-check/mutation_catch.out"
-if ./build-check/tools/check_explore --model spmc \
-     --mutate skip_line29_recheck --bound 2 | tee "$MUT_OUT"; then
-  echo "ci.sh: FAIL — injected mutation was not caught"
-  exit 1
+# Pick up ccache transparently when present (the GitHub workflow
+# installs it); local runs without ccache are unaffected.
+EXTRA_CMAKE_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  EXTRA_CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
-MUT_SCHED=$(sed -n 's/^  schedule: //p' "$MUT_OUT" | head -n 1)
-test -n "$MUT_SCHED"
-if ./build-check/tools/check_explore --model spmc \
-     --mutate skip_line29_recheck --replay "$MUT_SCHED"; then
-  echo "ci.sh: FAIL — witness schedule did not reproduce the violation"
-  exit 1
-fi
-echo "mutation caught and reproduced by schedule $MUT_SCHED"
 
-echo "ci.sh: all checks passed"
+# configure <preset> <builddir> <VAR=VAL>...
+# Reuses an existing build tree only when every leg-defining cache
+# option still matches; otherwise (drift, or --fresh) reconfigures from
+# an empty directory.
+configure() {
+  local preset="$1" dir="$2"; shift 2
+  if [[ $FRESH -eq 1 ]]; then
+    echo "--- $preset: --fresh, wiping $dir ---"
+    rm -rf "$dir"
+  elif [[ -f "$dir/CMakeCache.txt" ]]; then
+    local kv var want have
+    for kv in "$@"; do
+      var="${kv%%=*}" want="${kv#*=}"
+      have="$(sed -n "s/^${var}:[A-Z]*=//p" "$dir/CMakeCache.txt" | head -n 1)"
+      if [[ "${have:-unset}" != "$want" ]]; then
+        echo "--- $preset: cache drift ($var=${have:-unset}, want $want)," \
+             "reconfiguring $dir from scratch ---"
+        rm -rf "$dir"
+        break
+      fi
+    done
+  fi
+  cmake --preset "$preset" "${EXTRA_CMAKE_ARGS[@]}" >/dev/null
+}
+
+leg_tier1() {
+  configure default build \
+    FFQ_TELEMETRY=OFF FFQ_TRACE=OFF FFQ_CHECK=OFF \
+    FFQ_SANITIZE_THREAD=OFF FFQ_SANITIZE_ADDRESS=OFF
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+  echo "--- bench smoke gate: quick runs vs committed BENCH_*.json ---"
+  ./build/bench/bench_batch_ops --quick \
+    --json build/bench_batch_ops.quick.json
+  python3 tools/bench_gate.py --baseline BENCH_batch_ops.json \
+    --current build/bench_batch_ops.quick.json \
+    --key queue,batch,consumers --metric items_per_sec --direction higher
+  ./build/bench/bench_telemetry_overhead --quick \
+    --json build/bench_telemetry_overhead.quick.json
+  python3 tools/bench_gate.py --baseline BENCH_telemetry_overhead.json \
+    --current build/bench_telemetry_overhead.quick.json \
+    --key queue --metric "enabled ns/op" --direction lower
+}
+
+leg_telemetry() {
+  configure telemetry build-telemetry FFQ_TELEMETRY=ON FFQ_TRACE=OFF
+  cmake --build build-telemetry -j "$JOBS"
+  ctest --test-dir build-telemetry --output-on-failure -j "$JOBS"
+}
+
+leg_trace() {
+  configure trace build-trace FFQ_TRACE=ON FFQ_TELEMETRY=ON
+  cmake --build build-trace -j "$JOBS"
+  ctest --test-dir build-trace --output-on-failure -j "$JOBS"
+  echo "--- trace end-to-end: MPMC stress -> Perfetto export -> trace_check ---"
+  local trace_out="build-trace/ci_mpmc_trace.json"
+  ./build-trace/tools/trace_stress --trace="$trace_out" \
+    --producers=2 --consumers=2 --items=4000
+  ./build-trace/tools/trace_check --expect-drained "$trace_out"
+}
+
+# The binaries both sanitizer legs build and run: the scalar queue
+# suites, the shard fabric suite, the wait/park paths, and telemetry.
+SAN_TESTS=(test_spsc test_spmc test_mpmc test_shard test_waitable
+           test_eventcount test_telemetry)
+
+leg_tsan() {
+  configure tsan build-tsan FFQ_SANITIZE_THREAD=ON FFQ_TELEMETRY=ON
+  cmake --build build-tsan -j "$JOBS" \
+    --target "${SAN_TESTS[@]}" trace_stress
+  local t
+  for t in "${SAN_TESTS[@]}"; do
+    echo "--- $t (tsan) ---"
+    TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+  done
+  echo "--- trace_stress (tsan): MPMC contention as a race hunt ---"
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/trace_stress \
+    --trace=build-tsan/tsan_stress_trace.json \
+    --producers=2 --consumers=2 --items=20000
+}
+
+leg_asan() {
+  configure asan build-asan FFQ_SANITIZE_ADDRESS=ON FFQ_TELEMETRY=ON
+  cmake --build build-asan -j "$JOBS" \
+    --target "${SAN_TESTS[@]}" trace_stress
+  local t
+  for t in "${SAN_TESTS[@]}"; do
+    echo "--- $t (asan+ubsan) ---"
+    "./build-asan/tests/$t"
+  done
+  echo "--- trace_stress (asan+ubsan): MPMC stress for lifetime bugs ---"
+  ./build-asan/tools/trace_stress \
+    --trace=build-asan/asan_stress_trace.json \
+    --producers=2 --consumers=2 --items=20000
+}
+
+leg_check() {
+  configure check build-check FFQ_CHECK=ON
+  cmake --build build-check -j "$JOBS"
+  ctest --test-dir build-check --output-on-failure -j "$JOBS"
+  echo "--- exhaustive: bound-2 DFS over the SPSC, SPMC, shard models ---"
+  ./build-check/tools/check_explore --model spsc --bound 2
+  ./build-check/tools/check_explore --model spmc --bound 2
+  ./build-check/tools/check_explore --model shard --bound 2
+  ./build-check/tools/check_explore --model mpmc --fuzz 2000 --seed 1
+  echo "--- seeded fuzz: 10000 schedules over every real queue ---"
+  ./build-check/tools/check_explore --queue all --fuzz 10000 --seed 1
+  echo "--- mutation gate: injected line-29 bug must be caught and replay ---"
+  local mut_out="build-check/mutation_catch.out"
+  if ./build-check/tools/check_explore --model spmc \
+       --mutate skip_line29_recheck --bound 2 | tee "$mut_out"; then
+    echo "ci.sh: FAIL — injected mutation was not caught"
+    return 1
+  fi
+  local mut_sched
+  mut_sched=$(sed -n 's/^  schedule: //p' "$mut_out" | head -n 1)
+  test -n "$mut_sched"
+  if ./build-check/tools/check_explore --model spmc \
+       --mutate skip_line29_recheck --replay "$mut_sched"; then
+    echo "ci.sh: FAIL — witness schedule did not reproduce the violation"
+    return 1
+  fi
+  echo "mutation caught and reproduced by schedule $mut_sched"
+}
+
+TIMING_REPORT=()
+for leg in "${LEGS[@]}"; do
+  echo
+  echo "=== leg: $leg ==="
+  leg_start=$(date +%s)
+  "leg_$leg"
+  leg_secs=$(( $(date +%s) - leg_start ))
+  TIMING_REPORT+=("$(printf '%-10s %4ds' "$leg" "$leg_secs")")
+done
+
+echo
+echo "=== leg timings ==="
+for line in "${TIMING_REPORT[@]}"; do echo "  $line"; done
+echo "ci.sh: all selected legs passed (${LEGS[*]})"

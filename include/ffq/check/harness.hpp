@@ -21,6 +21,13 @@
 // linearizability over invocation/response stamps drawn from a monotone
 // counter (exact in the cooperative setting: stamps only advance when the
 // harness advances).
+//
+// Endpoint-style queues (ffq::shard::fabric: producer(p)/consumer()
+// handles, constructed from (producers, shard_capacity)) run the same
+// program through their endpoints. Fabric runs must set
+// check_linearizability = false — a sharded fabric is deliberately not
+// linearizable to one FIFO; conservation and per-producer FIFO are its
+// contract.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +43,56 @@
 #include "ffq/runtime/rng.hpp"
 
 namespace ffq::check {
+
+namespace detail {
+
+/// Fabric-like queues (ffq::shard::fabric) expose per-role endpoints —
+/// producer(p) / consumer() — instead of direct enqueue/dequeue, and are
+/// constructed from (producers, shard_capacity).
+template <typename Queue>
+concept has_endpoints = requires(Queue& q) {
+  q.producer(std::size_t{0});
+  q.consumer();
+};
+
+/// Forwarding endpoint for plain queues, so the program body below is
+/// written once against the endpoint interface.
+template <typename Queue>
+struct queue_ref {
+  Queue* q;
+  void enqueue(long long v) noexcept { q->enqueue(v); }
+  template <typename It>
+  void enqueue_bulk(It first, std::size_t n) noexcept {
+    q->enqueue_bulk(first, n);
+  }
+  bool try_dequeue(long long& v) noexcept { return q->try_dequeue(v); }
+  template <typename OutIt>
+    requires requires(Queue& qq, OutIt o) { qq.try_dequeue_bulk(o, std::size_t{1}); }
+  std::size_t try_dequeue_bulk(OutIt out, std::size_t n) noexcept {
+    return q->try_dequeue_bulk(out, n);
+  }
+};
+
+template <typename Queue>
+auto producer_endpoint(Queue& q, int p) {
+  if constexpr (has_endpoints<Queue>) {
+    return q.producer(static_cast<std::size_t>(p));
+  } else {
+    (void)p;
+    return queue_ref<Queue>{&q};
+  }
+}
+
+template <typename Queue>
+auto consumer_endpoint(Queue& q) {
+  if constexpr (has_endpoints<Queue>) {
+    return q.consumer();
+  } else {
+    return queue_ref<Queue>{&q};
+  }
+}
+
+}  // namespace detail
 
 struct program_config {
   std::size_t capacity = 8;
@@ -66,7 +123,15 @@ struct run_result {
 template <typename Queue, typename Driver>
 run_result run_program(const program_config& cfg, Driver& driver) {
   run_result res;
-  Queue q(cfg.capacity);
+  // Fabric queues take (producers, shard_capacity); plain queues take
+  // (capacity). Guaranteed copy elision lets both construct in place.
+  auto q = [&]() -> Queue {
+    if constexpr (detail::has_endpoints<Queue>) {
+      return Queue(static_cast<std::size_t>(cfg.producers), cfg.capacity);
+    } else {
+      return Queue(cfg.capacity);
+    }
+  }();
   coop_sched sched;
 
   std::uint64_t stamp = 0;  // monotone invocation/response counter
@@ -76,11 +141,12 @@ run_result run_program(const program_config& cfg, Driver& driver) {
 
   for (int p = 0; p < cfg.producers; ++p) {
     sched.spawn([&, p] {
+      auto ep = detail::producer_endpoint(q, p);
       std::vector<long long> batch;
       auto flush = [&] {
         if (batch.empty()) return;
         const std::uint64_t inv = stamp++;
-        q.enqueue_bulk(batch.begin(), batch.size());
+        ep.enqueue_bulk(batch.begin(), batch.size());
         const std::uint64_t ret = stamp++;
         for (long long v : batch) {
           history.push_back({p, true, v, inv, ret});
@@ -95,7 +161,7 @@ run_result run_program(const program_config& cfg, Driver& driver) {
           if (static_cast<int>(batch.size()) >= cfg.enqueue_batch) flush();
         } else {
           const std::uint64_t inv = stamp++;
-          q.enqueue(v);
+          ep.enqueue(v);
           history.push_back({p, true, v, inv, stamp++});
         }
       }
@@ -108,25 +174,28 @@ run_result run_program(const program_config& cfg, Driver& driver) {
     sched.spawn([&, c] {
       auto& stream = res.streams[static_cast<std::size_t>(c)];
       const int tid = cfg.producers + c;
+      auto ep = detail::consumer_endpoint(q);
+      using endpoint_t = decltype(ep);
       std::vector<long long> buf(
           cfg.dequeue_batch > 0 ? static_cast<std::size_t>(cfg.dequeue_batch)
                                 : std::size_t{1});
       for (;;) {
         const std::uint64_t inv = stamp++;
         std::size_t n = 0;
-        // Only SPSC-family queues offer a non-committal bulk claim; the
-        // SPMC/MPMC bulk dequeue blocks, which the cooperative harness
-        // must not do, so those fall back to the scalar try path.
-        constexpr bool kHasTryBulk =
-            requires(Queue& qq, long long* it) { qq.try_dequeue_bulk(it, 1); };
+        // Every endpoint with a non-committal bulk claim (SPSC family,
+        // SPMC/MPMC try_dequeue_bulk, the fabric's scheduler) takes the
+        // bulk path; the rest fall back to the scalar try path.
+        constexpr bool kHasTryBulk = requires(endpoint_t& e, long long* it) {
+          e.try_dequeue_bulk(it, std::size_t{1});
+        };
         if constexpr (kHasTryBulk) {
           if (cfg.dequeue_batch > 0) {
-            n = q.try_dequeue_bulk(buf.begin(), buf.size());
+            n = ep.try_dequeue_bulk(buf.begin(), buf.size());
           }
         }
         if (n == 0) {
           long long v = 0;
-          n = q.try_dequeue(v) ? 1 : 0;
+          n = ep.try_dequeue(v) ? 1 : 0;
           buf[0] = v;
         }
         if (n > 0) {

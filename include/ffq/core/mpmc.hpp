@@ -189,6 +189,50 @@ class mpmc_queue {
     }
   }
 
+  /// Non-blocking bulk dequeue: returns 0 immediately when nothing is
+  /// claimable (tail ≤ head). A claimed rank below the observed tail can
+  /// still be mid-write here (tail is a ticket dispenser, not a
+  /// publication watermark), so resolution may wait for a reserving
+  /// producer exactly as try_dequeue does — but never for an empty queue.
+  template <typename OutIt>
+  std::size_t try_dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    if (max_n == 0) return 0;
+    for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the emptiness check
+      const std::int64_t t = tail_->load(std::memory_order_acquire);
+      const std::int64_t h = head_->load(std::memory_order_relaxed);
+      const std::int64_t avail = t - h;
+      if (avail <= 0) return 0;  // nothing claimable: do not claim a rank
+      const std::int64_t k =
+          std::min<std::int64_t>(static_cast<std::int64_t>(max_n), avail);
+      FFQ_CHECK_YIELD();  // window: a racing consumer may move head here
+      const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
+      if (k > 1) tel_.on_rank_block_faa();
+      std::size_t taken = 0;
+      bool drained = false;
+      for (std::int64_t rank = first; rank < first + k && !drained; ++rank) {
+        switch (resolve_rank(rank, [&](T&& v) {
+          *out = std::move(v);
+          ++out;
+        })) {
+          case rank_state::taken:
+            ++taken;
+            break;
+          case rank_state::skipped:
+            break;
+          case rank_state::drained:
+            drained = true;
+            break;
+        }
+      }
+      if (taken > 0 || drained) {
+        if (taken > 0) tel_.on_bulk(taken);
+        return taken;
+      }
+      // Whole run was gaps: re-check availability before claiming again.
+    }
+  }
+
   /// Dequeue up to `max_n` items: one head fetch-and-add claims the whole
   /// run, gap ranks inside it are dropped without a fresh FAA (see
   /// spmc_queue::dequeue_bulk). Returns the count taken (≥ 1); 0 only

@@ -282,6 +282,55 @@ class spmc_queue {
     }
   }
 
+  /// Non-blocking bulk dequeue (any number of consumer threads). Returns
+  /// 0 immediately when nothing is published (tail ≤ head) instead of
+  /// committing a rank and spinning — the primitive the shard fabric's
+  /// drain scheduler polls with. When work is visible it claims a run of
+  /// up to `max_n` ranks with one fetch-and-add, exactly like
+  /// dequeue_bulk; every rank below the observed tail is already decided
+  /// (item or gap), so resolution does not wait on the producer except in
+  /// the same racing-consumer overshoot window try_dequeue documents.
+  /// Runs that turn out to be all gaps re-check availability instead of
+  /// spinning.
+  template <typename OutIt>
+  std::size_t try_dequeue_bulk(OutIt out, std::size_t max_n) noexcept {
+    if (max_n == 0) return 0;
+    for (;;) {
+      FFQ_CHECK_YIELD();  // scheduling point: before the emptiness check
+      const std::int64_t t = tail_->load(std::memory_order_acquire);
+      const std::int64_t h = head_->load(std::memory_order_relaxed);
+      const std::int64_t avail = t - h;
+      if (avail <= 0) return 0;  // nothing published: do not claim a rank
+      const std::int64_t k =
+          std::min<std::int64_t>(static_cast<std::int64_t>(max_n), avail);
+      FFQ_CHECK_YIELD();  // window: a racing consumer may move head here
+      const std::int64_t first = head_->fetch_add(k, std::memory_order_relaxed);
+      if (k > 1) tel_.on_rank_block_faa();
+      std::size_t taken = 0;
+      bool drained = false;
+      for (std::int64_t rank = first; rank < first + k && !drained; ++rank) {
+        switch (resolve_rank(rank, [&](T&& v) {
+          *out = std::move(v);
+          ++out;
+        })) {
+          case rank_state::taken:
+            ++taken;
+            break;
+          case rank_state::skipped:
+            break;  // dropped in place: no fresh fetch-and-add
+          case rank_state::drained:
+            drained = true;
+            break;
+        }
+      }
+      if (taken > 0 || drained) {
+        if (taken > 0) tel_.on_bulk(taken);
+        return taken;
+      }
+      // Whole run was gaps: re-check availability before claiming again.
+    }
+  }
+
   /// Dequeue up to `max_n` items into `out` (any number of consumer
   /// threads). Claims a run of ranks with a *single* fetch-and-add of
   /// `head` and resolves each claimed rank against its cell; gap ranks

@@ -60,10 +60,24 @@ class world {
       : cells_(cells),
         consumed_count_(static_cast<std::size_t>(num_values) + 1, 0) {}
 
+  /// Sharded world (model/shard_sched.hpp): `shards` equal cell segments
+  /// of `shard_cells` cells each, with per-shard head/tail indices.
+  static world sharded(std::size_t shards, std::size_t shard_cells,
+                       int num_values) {
+    world w(shards * shard_cells, num_values);
+    w.shard_cells_ = shard_cells;
+    w.shard_heads_.assign(shards, 0);
+    w.shard_tails_.assign(shards, 0);
+    return w;
+  }
+
   world(const world& o)
       : cells_(o.cells_),
         head_(o.head_),
         tail_(o.tail_),
+        shard_cells_(o.shard_cells_),
+        shard_heads_(o.shard_heads_),
+        shard_tails_(o.shard_tails_),
         producer_ranges_(o.producer_ranges_),
         consumed_count_(o.consumed_count_),
         violation_(o.violation_),
@@ -82,7 +96,26 @@ class world {
   int head_ = 0;
   int tail_ = 0;  ///< shared in the MPMC model; producer-owned in SPMC
 
+  // Sharded mode (shard_cells_ > 0): the cell array is partitioned into
+  // equal per-shard segments and ranks are namespaced per shard — shard
+  // s's local rank r appears everywhere (cells, monitors) as the global
+  // rank s * kShardRankStride + r. slot() maps a namespaced rank into
+  // its shard's segment, so the gap-accounting monitor's slot/rank
+  // comparisons stay exact: ranks from different shards never share a
+  // slot, and ranks within a shard compare in shard order.
+  static constexpr int kShardRankStride = 1 << 12;
+  std::size_t shard_cells_ = 0;
+  std::vector<int> shard_heads_;  ///< local (un-namespaced) per-shard heads
+  std::vector<int> shard_tails_;  ///< local per-shard tails, producer-owned
+
   std::size_t slot(int rank) const {
+    if (shard_cells_ > 0) {
+      const auto s = static_cast<std::size_t>(rank) /
+                     static_cast<std::size_t>(kShardRankStride);
+      const auto r = static_cast<std::size_t>(rank) %
+                     static_cast<std::size_t>(kShardRankStride);
+      return s * shard_cells_ + r % shard_cells_;
+    }
     return static_cast<std::size_t>(rank) % cells_.size();
   }
 
@@ -223,6 +256,8 @@ class world {
     }
     v.push_back(head_);
     v.push_back(tail_);
+    for (int h : shard_heads_) v.push_back(h);
+    for (int t : shard_tails_) v.push_back(t);
     for (const auto& t : threads_) t->encode(v);
     return std::string(reinterpret_cast<const char*>(v.data()),
                        v.size() * sizeof(int));

@@ -1,0 +1,122 @@
+// shard_counters.hpp — the shard fabric's scheduler counters behind the
+// telemetry policy (DESIGN.md §11).
+//
+// The fabric's per-shard queues already carry the full queue_counters set
+// (gaps, skips, stalls, ...); this block counts what the *scheduler* on
+// top of them does:
+//
+//   steals        consumer left its round-robin cursor for the busiest
+//                 other shard after its current shard ran dry
+//   empty_polls   shard visits that yielded nothing
+//   empty_sweeps  polls in which no shard (current or steal target) had
+//                 anything claimable — the consumer went away empty
+//   drains        drain calls that returned ≥ 1 item
+//   drained_items total items handed out by the scheduler
+//   drain_batch_* log2 histogram of drain batch sizes (same buckets as
+//                 the queues' bulk histogram)
+//
+// Same contract as queue_counters: the enabled specialization uses
+// relaxed fetch-add on miss/decision paths only, the disabled one is an
+// empty class held through [[no_unique_address]] so the OFF fabric layout
+// is byte-identical (mirror static_asserts in tests/test_shard.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "ffq/telemetry/counters.hpp"
+#include "ffq/telemetry/policy.hpp"
+
+namespace ffq::telemetry {
+
+template <typename Policy = default_policy>
+class fabric_counters;
+
+template <>
+class fabric_counters<enabled> {
+ public:
+  static constexpr bool kEnabled = true;
+
+  void on_steal() noexcept { bump(steals_); }
+  void on_empty_poll() noexcept { bump(empty_polls_); }
+  void on_empty_sweep() noexcept { bump(empty_sweeps_); }
+  void on_drain(std::size_t n) noexcept {
+    bump(drains_);
+    drained_items_.fetch_add(n, std::memory_order_relaxed);
+    bump(drain_hist_[bulk_bucket(n)]);
+  }
+
+  std::uint64_t steals() const noexcept { return get(steals_); }
+  std::uint64_t empty_polls() const noexcept { return get(empty_polls_); }
+  std::uint64_t empty_sweeps() const noexcept { return get(empty_sweeps_); }
+  std::uint64_t drains() const noexcept { return get(drains_); }
+  std::uint64_t drained_items() const noexcept { return get(drained_items_); }
+  std::uint64_t drain_batches(std::size_t bucket) const noexcept {
+    return get(drain_hist_[bucket]);
+  }
+
+  /// Visit every counter as (name, value) — the interface
+  /// registry::accumulate_queue consumes.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    fn("steals", steals());
+    fn("empty_polls", empty_polls());
+    fn("empty_sweeps", empty_sweeps());
+    fn("drains", drains());
+    fn("drained_items", drained_items());
+    for (std::size_t b = 0; b < kBulkBucketCount; ++b) {
+      fn(drain_bucket_name(b), drain_batches(b));
+    }
+  }
+
+  static constexpr const char* drain_bucket_name(std::size_t b) noexcept {
+    constexpr const char* kNames[kBulkBucketCount] = {
+        "drain_batch_1",      "drain_batch_2_3",    "drain_batch_4_7",
+        "drain_batch_8_15",   "drain_batch_16_31",  "drain_batch_32_63",
+        "drain_batch_64_127", "drain_batch_128_up"};
+    return kNames[b];
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+  static std::uint64_t get(const std::atomic<std::uint64_t>& c) noexcept {
+    return c.load(std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> empty_polls_{0};
+  std::atomic<std::uint64_t> empty_sweeps_{0};
+  std::atomic<std::uint64_t> drains_{0};
+  std::atomic<std::uint64_t> drained_items_{0};
+  std::atomic<std::uint64_t> drain_hist_[kBulkBucketCount] = {};
+};
+
+template <>
+class fabric_counters<disabled> {
+ public:
+  static constexpr bool kEnabled = false;
+
+  void on_steal() noexcept {}
+  void on_empty_poll() noexcept {}
+  void on_empty_sweep() noexcept {}
+  void on_drain(std::size_t) noexcept {}
+
+  std::uint64_t steals() const noexcept { return 0; }
+  std::uint64_t empty_polls() const noexcept { return 0; }
+  std::uint64_t empty_sweeps() const noexcept { return 0; }
+  std::uint64_t drains() const noexcept { return 0; }
+  std::uint64_t drained_items() const noexcept { return 0; }
+  std::uint64_t drain_batches(std::size_t) const noexcept { return 0; }
+
+  template <typename Fn>
+  void for_each(Fn&&) const noexcept {}
+};
+
+static_assert(std::is_empty_v<fabric_counters<disabled>>,
+              "the disabled policy must add no storage to the fabric");
+
+}  // namespace ffq::telemetry

@@ -34,6 +34,8 @@ enum class event_type : std::uint16_t {
   full_stall = 6,    ///< instant; arg = rank awaited in the full-ring regime
   park = 7,          ///< instant; consumer parked on the eventcount
   wake = 8,          ///< instant; producer woke a parked consumer
+  shard_steal = 9,   ///< instant; arg = shard a fabric consumer stole from
+  empty_sweep = 10,  ///< instant; a fabric poll found every shard dry
 };
 
 /// Display name used in the Chrome trace export and the validator.
@@ -55,6 +57,10 @@ constexpr const char* to_string(event_type t) noexcept {
       return "park";
     case event_type::wake:
       return "wake";
+    case event_type::shard_steal:
+      return "steal";
+    case event_type::empty_sweep:
+      return "empty_sweep";
   }
   return "?";
 }

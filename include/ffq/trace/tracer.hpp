@@ -72,6 +72,14 @@ class queue_tracer<enabled> {
   }
   void on_park() const noexcept { emit_instant(event_type::park, 0); }
   void on_wake() const noexcept { emit_instant(event_type::wake, 0); }
+  /// Shard-fabric scheduler instants (DESIGN.md §11): a consumer jumping
+  /// its cursor to the busiest shard, and a poll finding every shard dry.
+  void on_steal(std::int64_t shard) const noexcept {
+    emit_instant(event_type::shard_steal, shard);
+  }
+  void on_empty_sweep() const noexcept {
+    emit_instant(event_type::empty_sweep, 0);
+  }
 
   std::uint16_t id() const noexcept { return id_; }
 
@@ -103,6 +111,8 @@ class queue_tracer<disabled> {
   void on_full_stall(std::int64_t) const noexcept {}
   void on_park() const noexcept {}
   void on_wake() const noexcept {}
+  void on_steal(std::int64_t) const noexcept {}
+  void on_empty_sweep() const noexcept {}
 };
 
 static_assert(std::is_empty_v<queue_tracer<disabled>>,

@@ -1,0 +1,56 @@
+#include "ffq/shard/placement.hpp"
+
+#include <sstream>
+
+namespace ffq::shard {
+
+std::string placement_plan::summary() const {
+  std::ostringstream os;
+  os << "policy=" << ffq::runtime::to_string(policy)
+     << " shards=" << groups.size();
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    os << " s" << s << "=[p:";
+    const auto& g = groups[s];
+    if (g.producer_cpus.empty()) {
+      os << "any";
+    } else {
+      for (std::size_t i = 0; i < g.producer_cpus.size(); ++i) {
+        os << (i ? "," : "") << g.producer_cpus[i];
+      }
+    }
+    os << " c:";
+    if (g.consumer_cpus.empty()) {
+      os << "any";
+    } else {
+      for (std::size_t i = 0; i < g.consumer_cpus.size(); ++i) {
+        os << (i ? "," : "") << g.consumer_cpus[i];
+      }
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+placement_plan plan_shards(const ffq::runtime::cpu_topology& topo,
+                           ffq::runtime::placement_policy policy,
+                           std::size_t shards) {
+  placement_plan plan;
+  plan.policy = policy;
+  if (policy == ffq::runtime::placement_policy::none || shards == 0) {
+    return plan;  // advisory-only: leave scheduling to the OS
+  }
+  plan.groups = ffq::runtime::plan_placement(topo, policy, shards);
+  return plan;
+}
+
+placement_plan plan_shards(ffq::runtime::placement_policy policy,
+                           std::size_t shards) {
+  if (policy == ffq::runtime::placement_policy::none || shards == 0) {
+    placement_plan plan;
+    plan.policy = policy;
+    return plan;  // skip the sysfs walk entirely
+  }
+  return plan_shards(ffq::runtime::cpu_topology::discover(), policy, shards);
+}
+
+}  // namespace ffq::shard

@@ -30,6 +30,8 @@
 #include "ffq/core/waitable.hpp"
 #include "ffq/model/ffq_alg1.hpp"
 #include "ffq/model/ffq_alg2.hpp"
+#include "ffq/model/shard_sched.hpp"
+#include "ffq/shard/shard.hpp"
 
 namespace chk = ffq::check;
 namespace model = ffq::model;
@@ -124,6 +126,22 @@ model::world make_spmc_model(model::consumer_mutation cmut =
       1, 4, model::producer_mutation::none));
   w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
   w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
+  return w;
+}
+
+/// The shard-scheduler shape check_explore uses for --model shard: two
+/// shards (one wraps its ring, one runs short so steals happen), two
+/// scheduler consumers starting on opposite cursors.
+model::world make_shard_model(model::consumer_mutation cmut =
+                                  model::consumer_mutation::none) {
+  model::world w = model::world::sharded(2, 2, 6);
+  w.producer_ranges_ = {{1, 4}, {5, 6}};
+  w.threads_.push_back(std::make_unique<model::shard_producer>(
+      0, 1, 4, model::producer_mutation::none));
+  w.threads_.push_back(std::make_unique<model::shard_producer>(
+      1, 5, 2, model::producer_mutation::none));
+  w.threads_.push_back(std::make_unique<model::shard_consumer>(0, 3, 2, cmut));
+  w.threads_.push_back(std::make_unique<model::shard_consumer>(1, 3, 2, cmut));
   return w;
 }
 
@@ -331,6 +349,28 @@ TEST(CheckExplore, InjectedLine29BugIsCaughtWithReplayableWitness) {
       << clean.violation;
 }
 
+TEST(CheckExplore, CleanShardSchedulerModelPassesExhaustiveBound2) {
+  const auto r = chk::dfs_explore(make_shard_model(), {});
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.terminals, 0u);
+}
+
+// Differential masking claim (model/shard_sched.hpp): the scheduler's
+// tail-bounded claims decide every rank before it is claimed, so the
+// line-29 consumer race — which the scalar SPMC model catches above —
+// is unreachable through the fabric's bulk drain. The pair of results
+// (flagged scalar, clean scheduler) is the machine-checked statement.
+TEST(CheckExplore, ShardSchedulerMasksTheLine29RaceTheScalarPathHas) {
+  const auto scalar = chk::dfs_explore(
+      make_spmc_model(model::consumer_mutation::skip_line29_recheck), {});
+  ASSERT_FALSE(scalar.ok);
+  const auto sched = chk::dfs_explore(
+      make_shard_model(model::consumer_mutation::skip_line29_recheck), {});
+  EXPECT_TRUE(sched.ok) << sched.violation;
+  EXPECT_TRUE(sched.exhausted);
+}
+
 TEST(CheckExplore, ModelFuzzPassesAndIsSeedDeterministic) {
   const auto a = chk::fuzz_model(make_spmc_model(), 7, 300);
   EXPECT_TRUE(a.ok) << a.violation;
@@ -386,6 +426,22 @@ TEST(CheckQueues, BulkPathsFuzzCleanToo) {
   cfg.dequeue_batch = 2;
   const auto r = chk::fuzz_queue<q_spsc>(cfg, 15, 300);
   EXPECT_TRUE(r.ok) << r.failure.violation;
+}
+
+TEST(CheckQueues, FuzzShardFabricBothModesPass) {
+  using q_shard = ffq::shard::fabric<long long, false, layout_aligned,
+                                     tel_off, trc_off>;
+  using q_shard_ord = ffq::shard::fabric<long long, true, layout_aligned,
+                                         tel_off, trc_off>;
+  auto cfg = small_cfg(2, 2);
+  cfg.dequeue_batch = 2;  // exercise the scheduler's bulk drain
+  cfg.check_linearizability = false;  // sharded: not one FIFO by design
+  const auto r = chk::fuzz_queue<q_shard>(cfg, 16, 300);
+  EXPECT_TRUE(r.ok) << r.failure.violation
+                    << "\nschedule: " << chk::format_schedule(r.failure.sched);
+  const auto o = chk::fuzz_queue<q_shard_ord>(cfg, 17, 300);
+  EXPECT_TRUE(o.ok) << o.failure.violation
+                    << "\nschedule: " << chk::format_schedule(o.failure.sched);
 }
 
 TEST(CheckQueues, RecordedScheduleReplaysToTheIdenticalRun) {

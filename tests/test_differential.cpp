@@ -24,6 +24,7 @@
 #include "ffq/core/spmc.hpp"
 #include "ffq/core/spsc.hpp"
 #include "ffq/core/waitable.hpp"
+#include "ffq/shard/shard.hpp"
 
 namespace chk = ffq::check;
 
@@ -33,6 +34,8 @@ using q_spsc = ffq::core::spsc_queue<long long>;
 using q_spmc = ffq::core::spmc_queue<long long>;
 using q_mpmc = ffq::core::mpmc_queue<long long>;
 using q_wait = ffq::core::waitable_spsc_queue<long long>;
+using q_shard = ffq::shard::fabric<long long, false>;
+using q_shard_ord = ffq::shard::fabric<long long, true>;
 
 /// One run of the fixed program over Queue under the given seed; the run
 /// must already satisfy the oracles on its own (the harness checks them)
@@ -105,6 +108,47 @@ TEST(Differential, ScalarAndBulkPathsAgreeOnMpmc) {
     const auto a = run_seeded<q_mpmc>(scalar, seed);
     const auto b = run_seeded<q_mpmc>(bulk, seed);
     ASSERT_EQ(a.dequeued_sorted, b.dequeued_sorted) << "seed " << seed;
+  }
+}
+
+// The shard fabric against the scalar queues: same two-producer program,
+// same multiset out. The fabric is a composition (one FFQ^s per producer
+// + a consumer-side scheduler), not a single queue, so it is not
+// linearizable to one FIFO — linearizability checking is off for its
+// runs and agreement is on the multiset plus the per-stream oracles the
+// harness already enforced. Both fabric modes must agree with FFQ^m and
+// with each other, scalar and bulk paths alike.
+TEST(Differential, ShardFabricAgreesWithMpmcOnMultiset) {
+  auto cfg = shape(2, 2, 8);
+  cfg.check_linearizability = false;  // sharded: not one FIFO by design
+  auto bulk = cfg;
+  bulk.enqueue_batch = 3;
+  bulk.dequeue_batch = 2;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto m = run_seeded<q_mpmc>(cfg, seed);
+    const auto f = run_seeded<q_shard>(cfg, seed);
+    const auto o = run_seeded<q_shard_ord>(cfg, seed);
+    const auto fb = run_seeded<q_shard>(bulk, seed);
+    const auto ob = run_seeded<q_shard_ord>(bulk, seed);
+    ASSERT_EQ(m.dequeued_sorted, f.dequeued_sorted) << "seed " << seed;
+    ASSERT_EQ(m.dequeued_sorted, o.dequeued_sorted) << "seed " << seed;
+    ASSERT_EQ(m.dequeued_sorted, fb.dequeued_sorted) << "seed " << seed;
+    ASSERT_EQ(m.dequeued_sorted, ob.dequeued_sorted) << "seed " << seed;
+  }
+}
+
+// With one producer the fabric degenerates to a single FFQ^s shard and
+// both fabric modes become strict FIFOs: a single consumer must see the
+// exact SPSC stream, and the ordered merge must not perturb it.
+TEST(Differential, SingleProducerFabricIsExactlyFifo) {
+  auto cfg = shape(1, 1, 10);
+  cfg.check_linearizability = false;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto a = run_seeded<q_spsc>(cfg, seed);
+    const auto f = run_seeded<q_shard>(cfg, seed);
+    const auto o = run_seeded<q_shard_ord>(cfg, seed);
+    ASSERT_EQ(a.streams, f.streams) << "seed " << seed;
+    ASSERT_EQ(a.streams, o.streams) << "seed " << seed;
   }
 }
 

@@ -216,6 +216,22 @@ TEST(MpmcQueueBulk, TryDequeueIsNonBlocking) {
   EXPECT_FALSE(q.try_dequeue(out));
 }
 
+TEST(MpmcQueueBulk, TryDequeueBulkIsNonCommittal) {
+  mpmc_queue<std::uint64_t> q(16);
+  std::uint64_t out[8];
+  EXPECT_EQ(q.try_dequeue_bulk(out, 8), 0u) << "empty queue must not block";
+  std::uint64_t in[6] = {1, 2, 3, 4, 5, 6};
+  q.enqueue_bulk(in, 6);
+  ASSERT_EQ(q.try_dequeue_bulk(out, 4), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i + 1);
+  ASSERT_EQ(q.try_dequeue_bulk(out, 8), 2u)
+      << "returns what is published, never waits for more";
+  EXPECT_EQ(out[0], 5u);
+  EXPECT_EQ(out[1], 6u);
+  q.close();
+  EXPECT_EQ(q.try_dequeue_bulk(out, 8), 0u);
+}
+
 TEST(MpmcQueueBulk, BulkRoundTripAndPartialAtClose) {
   mpmc_queue<std::uint64_t> q(32);
   std::uint64_t in[10];

@@ -270,6 +270,24 @@ TEST(SpmcQueueBulk, TryDequeueIsNonBlocking) {
   EXPECT_FALSE(q.try_dequeue(out));
 }
 
+TEST(SpmcQueueBulk, TryDequeueBulkIsNonCommittal) {
+  spmc_queue<std::uint64_t> q(16);
+  std::uint64_t out[8];
+  EXPECT_EQ(q.try_dequeue_bulk(out, 8), 0u) << "empty queue must not block";
+  std::uint64_t in[5] = {1, 2, 3, 4, 5};
+  q.enqueue_bulk(in, 5);
+  ASSERT_EQ(q.try_dequeue_bulk(out, 8), 5u)
+      << "returns what is published, never waits for more";
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], i + 1);
+  EXPECT_EQ(q.try_dequeue_bulk(out, 8), 0u);
+  q.enqueue(6);
+  EXPECT_EQ(q.try_dequeue_bulk(out, 0), 0u) << "max_n = 0 claims nothing";
+  ASSERT_EQ(q.try_dequeue_bulk(out, 3), 1u);
+  EXPECT_EQ(out[0], 6u);
+  q.close();
+  EXPECT_EQ(q.try_dequeue_bulk(out, 8), 0u);
+}
+
 TEST(SpmcQueueBulk, BulkRoundTripKeepsFifo) {
   spmc_queue<std::uint64_t> q(64);
   std::uint64_t in[32];

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""bench_gate.py — smoke regression gate over the committed BENCH_*.json
+baselines.
+
+Compares a fresh quick-mode bench run against the baseline committed at
+the repo root and fails when the chosen metric regresses beyond
+tolerance.
+
+Method: rows are matched by the --key columns, each matched row
+contributes ratio = current / baseline of the --metric column, and the
+gate tests the *median* ratio per experiment. The median — not the
+worst row — is deliberate: quick mode runs a fraction of the workload
+on a shared CI box, so any single row can be 2x off from scheduler
+noise, but a genuine regression (an extra branch or fence on a hot
+path) drags every row down together.
+
+Tolerance: the median ratio must stay within 25% of the baseline, on
+the side --direction says matters (throughput may not drop below 0.75x;
+ns/op may not rise above 1.33x, the reciprocal). The 25% figure is
+sized to quick-mode noise observed on oversubscribed 1-2 CPU runners
+(row-to-row stddev runs 5-15% of the mean there; the median over the
+row set is much tighter, and real regressions worth catching — a
+mispaired memory order, a lost bulk path — cost 30%+). This is a smoke
+gate against large silent regressions, not a performance tracker; the
+trajectory lives in the committed BENCH_*.json files themselves.
+
+Usage:
+  bench_gate.py --baseline BENCH_batch_ops.json --current out.json \
+      --key queue,batch,consumers [--metric items_per_sec] \
+      [--direction higher] [--tolerance 0.25]
+
+Exit status: 0 pass, 1 regression or row mismatch, 2 usage/IO error.
+"""
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path, key_cols, metric):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = tuple((k, row[k]) for k in key_cols)
+        if key in rows:
+            raise KeyError(f"{path}: --key does not identify rows "
+                           f"uniquely ({dict(key)} repeats)")
+        rows[key] = float(row[metric])
+    return doc.get("experiment", "?"), rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--key", required=True,
+                    help="comma-separated columns identifying a row")
+    ap.add_argument("--metric", default="items_per_sec")
+    ap.add_argument("--direction", choices=("higher", "lower"),
+                    default="higher",
+                    help="which way is better for --metric "
+                         "(higher: throughput; lower: ns/op)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression of the median row "
+                         "ratio (default 0.25; see module docstring)")
+    args = ap.parse_args()
+    key_cols = [c for c in args.key.split(",") if c]
+
+    try:
+        base_name, base = load(args.baseline, key_cols, args.metric)
+        cur_name, cur = load(args.current, key_cols, args.metric)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"bench_gate: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    if base_name != cur_name:
+        print(f"bench_gate: experiment mismatch: baseline={base_name} "
+              f"current={cur_name}", file=sys.stderr)
+        return 1
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"bench_gate: {base_name}: current run is missing "
+              f"{len(missing)} baseline row(s), e.g. {dict(missing[0])}",
+              file=sys.stderr)
+        return 1
+
+    ratios = []
+    for key, base_val in sorted(base.items()):
+        ratio = cur[key] / base_val if base_val > 0 else float("inf")
+        ratios.append(ratio)
+        label = " ".join(f"{k}={v}" for k, v in key)
+        print(f"  {label:<44s} {args.metric}: {ratio:6.2f}x")
+
+    median = statistics.median(ratios)
+    if args.direction == "higher":
+        bound = 1.0 - args.tolerance
+        ok = median >= bound
+        side = "floor"
+    else:
+        bound = 1.0 / (1.0 - args.tolerance)
+        ok = median <= bound
+        side = "ceiling"
+    print(f"bench_gate: {base_name}: median {args.metric} ratio "
+          f"{median:.2f}x over {len(ratios)} rows ({side} {bound:.2f}x) "
+          f"-> {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

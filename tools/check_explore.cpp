@@ -34,6 +34,8 @@
 #include "ffq/core/waitable.hpp"
 #include "ffq/model/ffq_alg1.hpp"
 #include "ffq/model/ffq_alg2.hpp"
+#include "ffq/model/shard_sched.hpp"
+#include "ffq/shard/shard.hpp"
 
 namespace {
 
@@ -42,9 +44,10 @@ namespace model = ffq::model;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: check_explore --model spsc|spmc|mpmc [--bound N] "
+               "usage: check_explore --model spsc|spmc|mpmc|shard [--bound N] "
                "[--fuzz N] [--replay SCHED] [--mutate NAME] [--seed S]\n"
-               "       check_explore --queue spsc|spmc|mpmc|waitable|all "
+               "       check_explore --queue "
+               "spsc|spmc|mpmc|waitable|shard|shard_ordered|all "
                "--fuzz N [--replay SCHED] [--seed S]\n"
                "mutations: publish_before_data skip_line29_recheck "
                "claim_publishes_directly gap_ignores_rank claim_ignores_gap\n");
@@ -56,6 +59,8 @@ int usage() {
 /// SPSC shape: 1 producer x 3 items, 1 consumer, 2 cells (forces wraps).
 /// SPMC shape: 1 producer x 4 items, 2 consumers x quota 2, 2 cells.
 /// MPMC shape: 2 producers x 2 items, 2 consumers x quota 2, 2 cells.
+/// Shard shape: 2 shards x 2 items, 2 consumers x quota 2 batch 2,
+/// 2 cells per shard (exercises visit, steal, and the stale-head race).
 model::world make_model(const std::string& name, const std::string& mutate) {
   auto pmut = model::producer_mutation::none;
   auto cmut = model::consumer_mutation::none;
@@ -98,6 +103,18 @@ model::world make_model(const std::string& name, const std::string& mutate) {
     w.threads_.push_back(std::make_unique<model::alg1_consumer>(2, cmut));
     return w;
   }
+  if (name == "shard") {
+    model::world w = model::world::sharded(2, 2, 6);
+    w.producer_ranges_ = {{1, 4}, {5, 6}};
+    // Shard 0 wraps its 2 cells twice (gaps + the line-29 race are
+    // reachable); shard 1 is short so consumers cross shards and steal.
+    w.threads_.push_back(std::make_unique<model::shard_producer>(0, 1, 4, pmut));
+    w.threads_.push_back(std::make_unique<model::shard_producer>(1, 5, 2, pmut));
+    // Opposite start cursors so visits and steals both occur.
+    w.threads_.push_back(std::make_unique<model::shard_consumer>(0, 3, 2, cmut));
+    w.threads_.push_back(std::make_unique<model::shard_consumer>(1, 3, 2, cmut));
+    return w;
+  }
   throw std::invalid_argument("unknown model: " + name);
 }
 
@@ -125,6 +142,12 @@ program_config queue_config(const std::string& name) {
     cfg.producers = 2;
     cfg.items_per_producer = 4;
     cfg.consumers = 2;
+  } else if (name == "shard" || name == "shard_ordered") {
+    cfg.producers = 2;  // one shard each, cfg.capacity cells per shard
+    cfg.items_per_producer = 4;
+    cfg.consumers = 2;
+    cfg.dequeue_batch = 2;  // exercise the scheduler's bulk drain
+    cfg.check_linearizability = false;  // sharded: not one FIFO by design
   } else if (name == "spmc") {
     cfg.producers = 1;
     cfg.items_per_producer = 6;
@@ -173,6 +196,8 @@ using q_spsc = ffq::core::spsc_queue<long long>;
 using q_spmc = ffq::core::spmc_queue<long long>;
 using q_mpmc = ffq::core::mpmc_queue<long long>;
 using q_wait = ffq::core::waitable_spsc_queue<long long>;
+using q_shard = ffq::shard::fabric<long long, false>;
+using q_shard_ord = ffq::shard::fabric<long long, true>;
 
 }  // namespace
 
@@ -265,6 +290,8 @@ int main(int argc, char** argv) {
     if (queue_name == "spmc") return replay_one_queue<q_spmc>(queue_name, replay_sched);
     if (queue_name == "mpmc") return replay_one_queue<q_mpmc>(queue_name, replay_sched);
     if (queue_name == "waitable") return replay_one_queue<q_wait>(queue_name, replay_sched);
+    if (queue_name == "shard") return replay_one_queue<q_shard>(queue_name, replay_sched);
+    if (queue_name == "shard_ordered") return replay_one_queue<q_shard_ord>(queue_name, replay_sched);
     return usage();
   }
   if (fuzz_runs == 0) return usage();
@@ -274,8 +301,13 @@ int main(int argc, char** argv) {
   if (all || queue_name == "spmc") rc |= fuzz_one_queue<q_spmc>("spmc", seed, fuzz_runs);
   if (all || queue_name == "mpmc") rc |= fuzz_one_queue<q_mpmc>("mpmc", seed, fuzz_runs);
   if (all || queue_name == "waitable") rc |= fuzz_one_queue<q_wait>("waitable", seed, fuzz_runs);
+  if (all || queue_name == "shard") rc |= fuzz_one_queue<q_shard>("shard", seed, fuzz_runs);
+  if (all || queue_name == "shard_ordered") {
+    rc |= fuzz_one_queue<q_shard_ord>("shard_ordered", seed, fuzz_runs);
+  }
   if (!all && rc == 0 && queue_name != "spsc" && queue_name != "spmc" &&
-      queue_name != "mpmc" && queue_name != "waitable") {
+      queue_name != "mpmc" && queue_name != "waitable" &&
+      queue_name != "shard" && queue_name != "shard_ordered") {
     return usage();
   }
   return rc;
